@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tables 1, 2, 5 and 10: the core lineup, the operation-to-unit
+ * mapping, the architecture design parameters, and the published
+ * business numbers. These are configuration tables: the bench prints
+ * them from the CoreConfig presets so any drift between the code and
+ * the paper's design points is immediately visible.
+ */
+
+#include <iostream>
+
+#include "arch/unit_model.hh"
+#include "bench/bench_util.hh"
+
+using namespace ascend;
+
+int
+main()
+{
+    bench::banner("Table 1: Ascend cores, applications, networks");
+    TextTable t1;
+    t1.header({"core", "inf/tra", "applications", "typical networks"});
+    t1.row({"Ascend-Tiny", "Inference", "IoT and smart sensors",
+            "face/gesture detection"});
+    t1.row({"Ascend-Lite", "Inference", "IP cameras, smartphones",
+            "MobileNet, ISP NNs"});
+    t1.row({"Ascend-Mini", "Inference", "drones, robots, embedded AI",
+            "ResNet, VGG"});
+    t1.row({"Ascend", "Inf+Tra", "autonomous driving, smart city, cloud",
+            "MaskRCNN, Siamese, Pointsnet"});
+    t1.row({"Ascend-Max", "Tra+Inf", "HPC AI, cloud training",
+            "BERT, ResNet, Wide&Deep"});
+    t1.print(std::cout);
+
+    bench::banner("Table 2: operations per computing unit");
+    TextTable t2;
+    t2.header({"unit", "typical operations", "ISA pipe"});
+    t2.row({"Scalar", "control, scalar computation", "scalar"});
+    t2.row({"Vector", "normalize, activation, format transfer, CV ops",
+            "vector"});
+    t2.row({"Cube", "convolution, FC, MatMul", "cube"});
+    t2.print(std::cout);
+
+    bench::banner("Table 5: key architecture design parameters");
+    TextTable t5;
+    t5.header({"core", "clock", "cube (fp16-eq)", "FLOPs/cy", "vector",
+               "busA GB/s", "busB GB/s", "busUB GB/s", "LLC GB/s"});
+    for (auto v : {arch::CoreVersion::Max, arch::CoreVersion::Std,
+                   arch::CoreVersion::Mini, arch::CoreVersion::Lite,
+                   arch::CoreVersion::Tiny}) {
+        const auto c = arch::makeCoreConfig(v);
+        auto gbps = [&](Bytes per_cycle) {
+            return TextTable::num(double(per_cycle) * c.clockGhz, 0);
+        };
+        t5.row({c.name, TextTable::num(c.clockGhz, 2) + " GHz",
+                std::to_string(c.cube.m0) + "x" +
+                    std::to_string(c.cube.k0) + "x" +
+                    std::to_string(c.cube.n0),
+                TextTable::num(std::uint64_t(c.cube.flopsPerCycle())),
+                TextTable::num(std::uint64_t(c.vectorWidthBytes)) + " B",
+                gbps(c.busABytesPerCycle), gbps(c.busBBytesPerCycle),
+                gbps(c.busUbBytesPerCycle), gbps(c.busExtBytesPerCycle)});
+    }
+    t5.print(std::cout);
+    std::cout << "(paper: 8192 FLOPS/cy + 256 B for Max/Ascend/Mini, "
+                 "2048 + 128 B for Lite,\n 1024 int8 + 32 B for Tiny; "
+                 "A 4 TB/s, B/UB 2 TB/s; LLC 94/111/96/38.4 GB/s)\n";
+
+    bench::banner("Modelled core area per design point (7 nm)");
+    TextTable ta;
+    ta.header({"core", "area mm2 (modelled)"});
+    for (auto v : {arch::CoreVersion::Max, arch::CoreVersion::Lite,
+                   arch::CoreVersion::Tiny}) {
+        const auto c = arch::makeCoreConfig(v);
+        ta.row({c.name,
+                TextTable::num(arch::modelCoreAreaMm2(c,
+                                                      arch::TechNode::N7),
+                               2)});
+    }
+    ta.print(std::cout);
+
+    bench::banner("Table 10: business numbers (as published, 2020)");
+    TextTable t10;
+    t10.header({"product", "release", "quantity"});
+    t10.row({"Ascend 910", "2019", "~0.2 M"});
+    t10.row({"Mobile SoCs with Ascend cores", "2019", "> 100 M"});
+    t10.row({"Ascend 610", "2020", "n/a"});
+    t10.row({"Ascend 310", "2018", "~1 M"});
+    t10.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Training ablation: optimizer choice on the Ascend 910. The paper's
+ * Fig. 5 point — training shifts work toward the vector unit — grows
+ * stronger with stateful optimizers: momentum and Adam add fp32
+ * state traffic and extra elementwise passes per weight.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/zoo.hh"
+#include "soc/training_soc.hh"
+
+using namespace ascend;
+
+int
+main()
+{
+    soc::TrainingSoc soc910;
+    const auto resnet = model::zoo::resnet50(4);
+    const auto bert = model::zoo::bertBase(2, 128);
+
+    bench::banner("Optimizer ablation on Ascend 910 (per-step cost)");
+    TextTable t("SGD vs momentum vs Adam");
+    t.header({"network", "optimizer", "step (ms)", "vs SGD",
+              "LLC traffic", "HBM traffic"});
+    for (const auto *net : {&resnet, &bert}) {
+        double sgd_sec = 0;
+        for (auto opt : {model::OptimizerKind::Sgd,
+                         model::OptimizerKind::Momentum,
+                         model::OptimizerKind::Adam}) {
+            const auto step = soc910.trainStep(*net, opt);
+            if (opt == model::OptimizerKind::Sgd)
+                sgd_sec = step.seconds;
+            t.row({net->name, model::toString(opt),
+                   TextTable::num(step.seconds * 1e3, 2),
+                   TextTable::num(step.seconds / sgd_sec, 2) + "x",
+                   formatBytes(step.llcTrafficBytes),
+                   formatBytes(step.hbmTrafficBytes)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "Adam's two fp32 moment tensors quadruple the "
+                 "per-weight state footprint, so its\noverhead is "
+                 "largest for parameter-heavy models - the duplex "
+                 "UB-vector datapath of\nSection 3.1 exists exactly "
+                 "for this optimizer-bound tail of training.\n";
+    return 0;
+}

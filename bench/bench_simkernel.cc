@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: core
+ * scheduling throughput, compiler lowering speed, LLC access rate,
+ * and mesh-NoC cycle rate. These guard the simulator's own
+ * performance (the table/figure benches above depend on it staying
+ * fast enough to sweep).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/profiler.hh"
+#include "memory/llc.hh"
+#include "model/zoo.hh"
+#include "noc/mesh.hh"
+
+using namespace ascend;
+
+namespace {
+
+void
+BM_CoreSimGemm(benchmark::State &state)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    compiler::LayerCompiler lc(cfg);
+    core::CoreSim sim(cfg);
+    const auto layer = model::Layer::linear("gemm", 1024, 1024, 1024);
+    const auto prog = lc.compile(layer);
+    for (auto _ : state) {
+        auto r = sim.run(prog);
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * prog.size());
+}
+BENCHMARK(BM_CoreSimGemm);
+
+void
+BM_CompileResnetLayer(benchmark::State &state)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    compiler::LayerCompiler lc(cfg);
+    const auto layer =
+        model::Layer::conv2d("c", 1, 256, 14, 14, 256, 3, 1, 1);
+    for (auto _ : state) {
+        auto prog = lc.compile(layer);
+        benchmark::DoNotOptimize(prog.size());
+    }
+}
+BENCHMARK(BM_CompileResnetLayer);
+
+void
+BM_ProfileGestureNet(benchmark::State &state)
+{
+    compiler::Profiler profiler(
+        arch::makeCoreConfig(arch::CoreVersion::Tiny));
+    const auto net = model::zoo::gestureNet(1);
+    for (auto _ : state) {
+        auto runs = profiler.runInference(net);
+        benchmark::DoNotOptimize(runs.size());
+    }
+}
+BENCHMARK(BM_ProfileGestureNet);
+
+void
+BM_LlcAccess(benchmark::State &state)
+{
+    memory::Llc llc(memory::LlcConfig{96 * kMiB, 16, 4 * kKiB, 1});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(llc.access(addr));
+        addr += 4 * kKiB;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LlcAccess);
+
+void
+BM_MeshCycle(benchmark::State &state)
+{
+    noc::MeshConfig cfg;
+    noc::MeshNoc mesh(cfg);
+    noc::UniformTraffic traffic(0.2, mesh.nodes());
+    for (auto _ : state) {
+        auto s = mesh.run(traffic, 1000);
+        benchmark::DoNotOptimize(s.delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MeshCycle);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

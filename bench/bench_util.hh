@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it prints the paper's reported values next to the values this
+ * reproduction measures, so the shape comparison is visible in one
+ * place. EXPERIMENTS.md records the same numbers.
+ */
+
+#ifndef ASCEND_BENCH_BENCH_UTIL_HH
+#define ASCEND_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "compiler/profiler.hh"
+
+namespace ascend {
+namespace bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "\n=================================================\n"
+              << what << "\n"
+              << "=================================================\n";
+}
+
+/** Print a fusion-group ratio series (Figs. 4-8 format). */
+inline void
+printRatioSeries(const std::string &title,
+                 const std::vector<compiler::GroupProfile> &groups)
+{
+    TextTable table(title);
+    table.header({"#", "operator", "cube busy", "vec busy", "cube/vec"});
+    unsigned idx = 0;
+    unsigned above_one = 0;
+    for (const auto &g : groups) {
+        if (g.cubeVectorRatio() > 1.0)
+            ++above_one;
+        table.row({TextTable::num(std::uint64_t(idx++)), g.name,
+                   TextTable::num(std::uint64_t(g.cubeBusy)),
+                   TextTable::num(std::uint64_t(g.vectorBusy)),
+                   TextTable::num(g.cubeVectorRatio(), 2)});
+    }
+    table.print(std::cout);
+    std::cout << above_one << "/" << groups.size()
+              << " operators have cube/vector ratio > 1\n";
+}
+
+/** Print an L1 bandwidth profile (Fig. 9 format). */
+inline void
+printBandwidthSeries(const std::string &title,
+                     const std::vector<compiler::GroupProfile> &groups)
+{
+    TextTable table(title);
+    table.header({"#", "operator", "L1 read bits/cycle",
+                  "L1 write bits/cycle"});
+    unsigned idx = 0;
+    double max_read = 0, max_write = 0;
+    for (const auto &g : groups) {
+        max_read = std::max(max_read, g.l1ReadBitsPerCycle());
+        max_write = std::max(max_write, g.l1WriteBitsPerCycle());
+        table.row({TextTable::num(std::uint64_t(idx++)), g.name,
+                   TextTable::num(g.l1ReadBitsPerCycle(), 0),
+                   TextTable::num(g.l1WriteBitsPerCycle(), 0)});
+    }
+    table.print(std::cout);
+    std::cout << "max read " << TextTable::num(max_read, 0)
+              << " bits/cycle, max write " << TextTable::num(max_write, 0)
+              << " bits/cycle (paper bound: read <= 4096, write <= 2048)\n";
+}
+
+} // namespace bench
+} // namespace ascend
+
+#endif // ASCEND_BENCH_BENCH_UTIL_HH

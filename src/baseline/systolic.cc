@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Systolic-array model implementation.
+ */
+
+#include "baseline/systolic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace baseline {
+
+SystolicConfig
+tpuV3Like()
+{
+    SystolicConfig c;
+    c.name = "tpu-v3-like";
+    // TPU v3: 2 cores x 2 128x128 MXUs at 940 MHz -> model as a
+    // single 256x256-equivalent array (same MAC count, one pipeline).
+    c.width = 256;
+    c.clockGhz = 0.94;
+    c.memBandwidth = 9e11;
+    c.vectorFlopsPerSec = 4e12;
+    return c;
+}
+
+SystolicConfig
+fsdLike()
+{
+    SystolicConfig c;
+    c.name = "fsd-like";
+    // Tesla FSD: two 96x96 int8 arrays at 2 GHz; modelled as one array
+    // per chip instance (callers scale by 2 for the full chip).
+    c.width = 96;
+    c.clockGhz = 2.0;
+    c.memBandwidth = 6.4e10; // LPDDR4
+    c.vectorFlopsPerSec = 6e11;
+    return c;
+}
+
+SystolicArray::SystolicArray(SystolicConfig config)
+    : config_(std::move(config))
+{
+    simAssert(config_.width > 0, "systolic width must be positive");
+}
+
+Cycles
+SystolicArray::gemmCycles(std::uint64_t m, std::uint64_t k,
+                          std::uint64_t n) const
+{
+    const std::uint64_t w = config_.width;
+    // One pass per (k, n) weight tile: fill w, stream m, drain 2w.
+    const std::uint64_t tiles = ceilDiv(k, w) * ceilDiv(n, w);
+    return tiles * (m + 3 * w);
+}
+
+Cycles
+SystolicArray::layerCycles(const model::Layer &layer) const
+{
+    using model::LayerKind;
+    if (layer.isCubeLayer()) {
+        std::uint64_t m, k, n;
+        layer.lowerToGemm(m, k, n);
+        Cycles per = gemmCycles(m, k, n);
+        // Memory roofline on operand streaming.
+        const Bytes bytes = layer.inputBytes() + layer.weightBytes() +
+                            layer.outputBytes();
+        const double mem_sec =
+            double(bytes) / config_.memBandwidth;
+        const auto mem_cycles = static_cast<Cycles>(
+            mem_sec * config_.clockGhz * 1e9 / double(layer.matmulCount));
+        return std::max(per, mem_cycles) * layer.matmulCount;
+    }
+    // Vector-side work; the array must drain before it (pipeline
+    // interruption by normalization layers).
+    const double sec = double(layer.flops()) / config_.vectorFlopsPerSec +
+                       double(layer.inputBytes() + layer.outputBytes()) /
+                           config_.memBandwidth;
+    const Cycles drain = 2 * config_.width;
+    return drain + static_cast<Cycles>(sec * config_.clockGhz * 1e9);
+}
+
+SystolicResult
+SystolicArray::runInference(const model::Network &net) const
+{
+    SystolicResult r;
+    for (const model::Layer &layer : net.layers) {
+        r.cycles += layerCycles(layer);
+        r.flops += layer.flops();
+    }
+    r.utilization = r.cycles
+        ? double(r.flops) /
+              (double(r.cycles) * 2.0 * config_.width * config_.width)
+        : 0.0;
+    return r;
+}
+
+SystolicResult
+SystolicArray::runTraining(const model::Network &net) const
+{
+    SystolicResult r;
+    for (const model::TrainingStep &step : model::trainingSteps(net)) {
+        r.cycles += layerCycles(step.fwd);
+        r.flops += step.fwd.flops();
+        for (const model::Layer &b : step.bwd) {
+            r.cycles += layerCycles(b);
+            r.flops += b.flops();
+        }
+    }
+    r.utilization = r.cycles
+        ? double(r.flops) /
+              (double(r.cycles) * 2.0 * config_.width * config_.width)
+        : 0.0;
+    return r;
+}
+
+} // namespace baseline
+} // namespace ascend

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Weight-stationary systolic-array simulator (TPU / Tesla-FSD-like
+ * comparators).
+ *
+ * Models the pipeline behaviour the paper argues against (Sections 6.1
+ * and 7.1): a W x W array computes a GEMM by loading a W x W weight
+ * tile (fill), streaming M activation rows through it, and draining
+ * the last partial sums. Per weight tile the cost is
+ *
+ *     fill (W) + stream (M) + drain (W + W)
+ *
+ * so small matrices pay a large prologue/epilogue overhead — the
+ * "bubbles" that collapse utilization on mobile/automotive networks —
+ * and every normalization layer between GEMMs forces a full drain
+ * (the paper's point about training interrupting systolic pipelines).
+ */
+
+#ifndef ASCEND_BASELINE_SYSTOLIC_HH
+#define ASCEND_BASELINE_SYSTOLIC_HH
+
+#include "common/types.hh"
+#include "model/network.hh"
+
+namespace ascend {
+namespace baseline {
+
+/** Systolic accelerator description. */
+struct SystolicConfig
+{
+    std::string name = "systolic-256";
+    unsigned width = 256;      ///< array is width x width MACs
+    double clockGhz = 0.7;     ///< TPU-class clock
+    double memBandwidth = 6e11;///< HBM bytes/sec
+    double vectorFlopsPerSec = 3e12; ///< attached vector/activation unit
+};
+
+/** Per-network simulation outcome. */
+struct SystolicResult
+{
+    Cycles cycles = 0;
+    Flops flops = 0;
+    double utilization = 0; ///< achieved / peak MAC utilization
+
+    double
+    seconds(double clock_ghz) const
+    {
+        return double(cycles) / (clock_ghz * 1e9);
+    }
+};
+
+/**
+ * The simulator. GEMM layers run on the array; everything else runs
+ * on the vector/activation unit, draining the array pipeline first.
+ */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(SystolicConfig config);
+
+    /** Cycles for one GEMM of m x k x n (including fill/drain). */
+    Cycles gemmCycles(std::uint64_t m, std::uint64_t k,
+                      std::uint64_t n) const;
+
+    /** Run every layer of @p net (inference). */
+    SystolicResult runInference(const model::Network &net) const;
+
+    /** Run forward + backward (training step). */
+    SystolicResult runTraining(const model::Network &net) const;
+
+    /** Peak MAC throughput, ops/second. */
+    double
+    peakFlops() const
+    {
+        return 2.0 * config_.width * config_.width * config_.clockGhz * 1e9;
+    }
+
+    const SystolicConfig &config() const { return config_; }
+
+  private:
+    Cycles layerCycles(const model::Layer &layer) const;
+
+    SystolicConfig config_;
+};
+
+/** TPU-v3-like configuration (two 128x128 cores -> one 181x181-equiv). */
+SystolicConfig tpuV3Like();
+
+/** Tesla-FSD-like configuration (two 96x96 arrays at 2 GHz, int8). */
+SystolicConfig fsdLike();
+
+} // namespace baseline
+} // namespace ascend
+
+#endif // ASCEND_BASELINE_SYSTOLIC_HH

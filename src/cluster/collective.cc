@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Collective models implementation.
+ */
+
+#include "cluster/collective.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace cluster {
+
+const char *
+toString(CollectiveAlgo algo)
+{
+    switch (algo) {
+      case CollectiveAlgo::Ring:            return "ring";
+      case CollectiveAlgo::HalvingDoubling: return "halving-doubling";
+      case CollectiveAlgo::Tree:            return "tree";
+    }
+    return "?";
+}
+
+namespace {
+
+double
+log2Ceil(unsigned n)
+{
+    double steps = 0;
+    unsigned v = 1;
+    while (v < n) {
+        v *= 2;
+        ++steps;
+    }
+    return steps;
+}
+
+} // anonymous namespace
+
+double
+halvingDoublingAllreduceSeconds(Bytes bytes, unsigned n, double bw,
+                                double latency)
+{
+    if (n <= 1)
+        return 0.0;
+    const double steps = 2.0 * log2Ceil(n);
+    const double volume = 2.0 * (n - 1) / n * double(bytes);
+    return volume / bw + steps * latency;
+}
+
+double
+treeAllreduceSeconds(Bytes bytes, unsigned n, double bw, double latency)
+{
+    if (n <= 1)
+        return 0.0;
+    const double steps = 2.0 * log2Ceil(n);
+    return steps * (double(bytes) / bw + latency);
+}
+
+double
+allreduceAlgoSeconds(CollectiveAlgo algo, Bytes bytes, unsigned n,
+                     double bw, double latency)
+{
+    switch (algo) {
+      case CollectiveAlgo::Ring:
+        return ringAllreduceSeconds(bytes, n, bw, latency);
+      case CollectiveAlgo::HalvingDoubling:
+        return halvingDoublingAllreduceSeconds(bytes, n, bw, latency);
+      case CollectiveAlgo::Tree:
+        return treeAllreduceSeconds(bytes, n, bw, latency);
+    }
+    panic("bad collective algo");
+}
+
+double
+ringAllreduceSeconds(Bytes bytes, unsigned n, double bw, double latency)
+{
+    if (n <= 1)
+        return 0.0;
+    const double steps = 2.0 * (n - 1);
+    const double volume = steps / n * double(bytes);
+    return volume / bw + steps * latency;
+}
+
+double
+serverAllreduceSeconds(const ServerConfig &server, Bytes bytes)
+{
+    simAssert(server.chips % server.chipsPerGroup == 0,
+              "server groups must divide chips");
+    const unsigned groups = server.chips / server.chipsPerGroup;
+    // Reduce-scatter + allgather within the group over HCCS.
+    double sec = ringAllreduceSeconds(bytes, server.chipsPerGroup,
+                                      server.hccsBytesPerSec,
+                                      server.linkLatencySec);
+    if (groups > 1) {
+        // Group leaders exchange the group-reduced shard over PCIe.
+        const Bytes shard = bytes / server.chipsPerGroup;
+        sec += ringAllreduceSeconds(shard, groups,
+                                    server.pcieBytesPerSec,
+                                    server.linkLatencySec);
+    }
+    return sec;
+}
+
+double
+hierarchicalAllreduceSeconds(const ClusterConfig &cluster, Bytes bytes)
+{
+    // Phase 1: reduce-scatter inside each server (every chip ends up
+    // owning a 1/chips shard of the reduced gradient).
+    const ServerConfig &srv = cluster.server;
+    double sec = serverAllreduceSeconds(srv, bytes);
+    if (cluster.servers > 1) {
+        // Phase 2: ring allreduce across servers on each shard; the
+        // shards move in parallel over each server's uplink.
+        const Bytes shard = bytes / srv.chips;
+        sec += ringAllreduceSeconds(shard, cluster.servers,
+                                    cluster.netBytesPerSec,
+                                    cluster.netLatencySec);
+    }
+    return sec;
+}
+
+namespace {
+
+/** Allreduce time for a job spanning @p chips chips of the cluster. */
+double
+allreduceSeconds(const ClusterConfig &cluster, Bytes bytes, unsigned chips)
+{
+    const unsigned per_server = cluster.server.chips;
+    if (chips <= 1)
+        return 0.0;
+    if (chips <= per_server) {
+        ServerConfig partial = cluster.server;
+        partial.chips = std::min(chips, per_server);
+        partial.chipsPerGroup =
+            std::min(partial.chips, partial.chipsPerGroup);
+        if (partial.chips % partial.chipsPerGroup != 0)
+            partial.chipsPerGroup = 1;
+        return serverAllreduceSeconds(partial, bytes);
+    }
+    ClusterConfig partial = cluster;
+    partial.servers = ceilDiv(chips, per_server);
+    return hierarchicalAllreduceSeconds(partial, bytes);
+}
+
+} // anonymous namespace
+
+double
+stepSeconds(const TrainingJob &job, const ClusterConfig &cluster,
+            unsigned chips)
+{
+    simAssert(chips > 0, "need at least one chip");
+    const double comm = allreduceSeconds(cluster, job.gradientBytes, chips);
+    const double exposed =
+        comm * (1.0 - std::clamp(job.overlapFraction, 0.0, 1.0));
+    return job.stepSecondsPerChip + exposed;
+}
+
+double
+throughputSamplesPerSec(const TrainingJob &job, const ClusterConfig &cluster,
+                        unsigned chips)
+{
+    const double step = stepSeconds(job, cluster, chips);
+    return step > 0
+        ? double(job.samplesPerChipStep) * chips / step : 0.0;
+}
+
+double
+pipelineStepSeconds(const PipelineJob &job)
+{
+    simAssert(job.stages > 0 && job.microBatches > 0,
+              "pipeline needs stages and micro-batches");
+    // Per-micro-batch slot: stage compute plus shipping the boundary
+    // activations to the next stage (overlappable only across
+    // different micro-batches, so it adds to the slot time when it
+    // exceeds nothing; first-order: slot = compute + transfer).
+    const double transfer =
+        job.stages > 1
+            ? double(job.boundaryBytes) / job.linkBytesPerSec +
+                  job.linkLatencySec
+            : 0.0;
+    const double slot = job.stageSecondsPerMicroBatch + transfer;
+    // 1F1B: (microBatches + stages - 1) slots end-to-end.
+    return double(job.microBatches + job.stages - 1) * slot;
+}
+
+double
+pipelineBubbleFraction(const PipelineJob &job)
+{
+    simAssert(job.stages > 0 && job.microBatches > 0,
+              "pipeline needs stages and micro-batches");
+    return double(job.stages - 1) /
+           double(job.microBatches + job.stages - 1);
+}
+
+double
+scalingEfficiency(const TrainingJob &job, const ClusterConfig &cluster,
+                  unsigned chips)
+{
+    const double one = throughputSamplesPerSec(job, cluster, 1);
+    const double many = throughputSamplesPerSec(job, cluster, chips);
+    return one > 0 ? many / (one * chips) : 0.0;
+}
+
+} // namespace cluster
+} // namespace ascend

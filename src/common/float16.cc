@@ -1,0 +1,103 @@
+/**
+ * @file
+ * fp16 conversion implementation (round-to-nearest-even).
+ */
+
+#include "common/float16.hh"
+
+#include <cstring>
+
+namespace ascend {
+
+namespace {
+
+std::uint32_t
+floatBits(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bitsFloat(std::uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // anonymous namespace
+
+std::uint16_t
+floatToHalfBits(float value)
+{
+    const std::uint32_t f = floatBits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((f >> 23) & 0xff) - 127 + 15;
+    std::uint32_t mantissa = f & 0x7fffffu;
+
+    if (((f >> 23) & 0xff) == 0xff) {
+        // Inf / NaN: preserve NaN-ness.
+        return static_cast<std::uint16_t>(
+            sign | 0x7c00u | (mantissa ? 0x200u : 0));
+    }
+    if (exponent >= 0x1f) {
+        // Overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (exponent <= 0) {
+        // Subnormal or zero.
+        if (exponent < -10)
+            return static_cast<std::uint16_t>(sign);
+        mantissa |= 0x800000u; // implicit leading 1
+        const unsigned shift = static_cast<unsigned>(14 - exponent);
+        const std::uint32_t sub = mantissa >> shift;
+        // Round to nearest even on the discarded bits.
+        const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+        const std::uint32_t half = 1u << (shift - 1);
+        std::uint32_t rounded = sub;
+        if (rem > half || (rem == half && (sub & 1)))
+            ++rounded;
+        return static_cast<std::uint16_t>(sign | rounded);
+    }
+    // Normal number: keep the top 10 mantissa bits, round the rest.
+    std::uint32_t half_bits =
+        sign | (static_cast<std::uint32_t>(exponent) << 10) |
+        (mantissa >> 13);
+    const std::uint32_t rem = mantissa & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_bits & 1)))
+        ++half_bits; // may carry into the exponent: that is correct
+    return static_cast<std::uint16_t>(half_bits);
+}
+
+float
+halfBitsToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = (std::uint32_t(bits) & 0x8000u) << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1f;
+    const std::uint32_t mantissa = bits & 0x3ffu;
+
+    if (exponent == 0) {
+        if (mantissa == 0)
+            return bitsFloat(sign); // +-0
+        // Subnormal: normalize.
+        std::uint32_t m = mantissa;
+        std::int32_t e = -1;
+        while (!(m & 0x400u)) {
+            m <<= 1;
+            ++e;
+        }
+        const std::uint32_t f_exp =
+            static_cast<std::uint32_t>(127 - 15 - e) << 23;
+        return bitsFloat(sign | f_exp | ((m & 0x3ffu) << 13));
+    }
+    if (exponent == 0x1f) {
+        return bitsFloat(sign | 0x7f800000u | (mantissa << 13));
+    }
+    const std::uint32_t f_exp = (exponent - 15 + 127) << 23;
+    return bitsFloat(sign | f_exp | (mantissa << 13));
+}
+
+} // namespace ascend

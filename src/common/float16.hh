@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("fp16") arithmetic.
+ *
+ * The cube datapath multiplies fp16 sources into an fp32 accumulator
+ * (Section 2.1, citing mixed-precision training). The functional
+ * layer needs bit-accurate fp16 storage semantics to validate that
+ * datapath: values round through fp16 on the way in, accumulate in
+ * float, and optionally round back on the way out.
+ */
+
+#ifndef ASCEND_COMMON_FLOAT16_HH
+#define ASCEND_COMMON_FLOAT16_HH
+
+#include <cstdint>
+
+namespace ascend {
+
+/** Convert a float to its nearest fp16 bit pattern (round-to-nearest-even). */
+std::uint16_t floatToHalfBits(float value);
+
+/** Convert an fp16 bit pattern to float (exact). */
+float halfBitsToFloat(std::uint16_t bits);
+
+/** Round a float through fp16 precision (storage round-trip). */
+inline float
+roundToHalf(float value)
+{
+    return halfBitsToFloat(floatToHalfBits(value));
+}
+
+/**
+ * Value type with fp16 storage semantics: every assignment rounds.
+ */
+class Half
+{
+  public:
+    Half() = default;
+    Half(float v) : bits_(floatToHalfBits(v)) {} // NOLINT: implicit by design
+
+    operator float() const { return halfBitsToFloat(bits_); }
+
+    std::uint16_t bits() const { return bits_; }
+
+    static Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+} // namespace ascend
+
+#endif // ASCEND_COMMON_FLOAT16_HH

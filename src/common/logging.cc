@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ascend {
+namespace detail {
+
+namespace {
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", levelPrefix(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, fmt, args);
+    va_end(args);
+}
+
+void
+logTerminate(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, fmt, args);
+    va_end(args);
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace ascend

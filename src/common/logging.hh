@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 idiom: panic() is for internal simulator bugs
+ * (conditions that must never happen regardless of user input) and
+ * aborts; fatal() is for user errors (bad configuration, invalid
+ * arguments) and exits cleanly with an error code. warn() and inform()
+ * report non-terminal conditions.
+ */
+
+#ifndef ASCEND_COMMON_LOGGING_HH
+#define ASCEND_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ascend {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/**
+ * Format a printf-style message and emit it to stderr with a severity
+ * prefix. Terminates the process for Fatal (exit(1)) and Panic (abort()).
+ *
+ * @param level Severity of the message.
+ * @param fmt printf-style format string.
+ */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+[[noreturn]]
+[[gnu::format(printf, 2, 3)]]
+void logTerminate(LogLevel level, const char *fmt, ...);
+
+} // namespace detail
+
+/** Report an unrecoverable internal error (simulator bug) and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        detail::logTerminate(LogLevel::Panic, "%s", fmt);
+    else
+        detail::logTerminate(LogLevel::Panic, fmt, args...);
+}
+
+/** Report an unrecoverable user error (bad config/arguments) and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        detail::logTerminate(LogLevel::Fatal, "%s", fmt);
+    else
+        detail::logTerminate(LogLevel::Fatal, fmt, args...);
+}
+
+/** Warn about behaviour that may be incorrect but lets simulation go on. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        detail::logMessage(LogLevel::Warn, "%s", fmt);
+    else
+        detail::logMessage(LogLevel::Warn, fmt, args...);
+}
+
+/** Print a normal status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        detail::logMessage(LogLevel::Inform, "%s", fmt);
+    else
+        detail::logMessage(LogLevel::Inform, fmt, args...);
+}
+
+/**
+ * Assert an invariant of the simulator itself; calls panic() on failure.
+ *
+ * Unlike the C assert macro this is always compiled in, because the
+ * invariants it guards (flag-count balance, buffer occupancy bounds)
+ * are cheap and load-bearing for result validity.
+ */
+inline void
+simAssert(bool condition, const char *what)
+{
+    if (!condition)
+        panic("assertion failed: %s", what);
+}
+
+} // namespace ascend
+
+#endif // ASCEND_COMMON_LOGGING_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * A fixed xoshiro-style generator keeps every experiment reproducible
+ * across platforms and standard-library versions (std::mt19937 would be
+ * fine too, but distributions are not portable across libstdc++
+ * versions; we implement our own uniform helpers).
+ */
+
+#ifndef ASCEND_COMMON_RNG_HH
+#define ASCEND_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace ascend {
+
+/** SplitMix64-seeded xorshift128+ generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed)
+    {
+        // SplitMix64 expansion of the seed into two state words.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniformReal() < p; }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace ascend
+
+#endif // ASCEND_COMMON_RNG_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * StatGroup dump/reset implementation.
+ */
+
+#include "common/stats.hh"
+
+namespace ascend {
+namespace stats {
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << "." << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : distributions_) {
+        const Distribution &d = kv.second;
+        os << name_ << "." << kv.first
+           << " count=" << d.count()
+           << " mean=" << d.mean()
+           << " min=" << d.min()
+           << " max=" << d.max() << "\n";
+    }
+}
+
+} // namespace stats
+} // namespace ascend

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench binaries to print the
+ * paper's tables and figure series in a uniform format.
+ */
+
+#ifndef ASCEND_COMMON_TABLE_HH
+#define ASCEND_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ascend {
+
+/**
+ * A simple row/column text table.
+ *
+ * Cells are strings; numeric helpers format with fixed precision.
+ * print() renders an aligned ASCII table, printCsv() a CSV body.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width if one is set. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+    void print(std::ostream &os) const;
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ascend
+
+#endif // ASCEND_COMMON_TABLE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Formatting helpers for byte counts and rates.
+ */
+
+#include "common/types.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace ascend {
+
+std::string
+formatBytes(Bytes bytes)
+{
+    static const std::array<const char *, 5> suffixes =
+        {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < suffixes.size()) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatRate(double bytes_per_second)
+{
+    static const std::array<const char *, 5> suffixes =
+        {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    double value = bytes_per_second;
+    std::size_t idx = 0;
+    while (value >= 1000.0 && idx + 1 < suffixes.size()) {
+        value /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+    return buf;
+}
+
+} // namespace ascend

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Operator fusion implementation.
+ */
+
+#include "compiler/fusion.hh"
+
+namespace ascend {
+namespace compiler {
+
+namespace {
+
+/** Vector passes a fused layer adds to the producer's eviction. */
+double
+fusedPasses(const model::Layer &layer)
+{
+    using model::LayerKind;
+    switch (layer.kind) {
+      case LayerKind::BatchNorm:
+        return 2.0;
+      case LayerKind::Elementwise:
+        return 1.0;
+      case LayerKind::Activation:
+        switch (layer.act) {
+          case model::ActKind::Relu:
+          case model::ActKind::Relu6:
+            return 1.0;
+          case model::ActKind::Sigmoid:
+            return 2.0;
+          default:
+            return 3.0; // gelu / swish
+        }
+      default:
+        return -1.0; // not fusable
+    }
+}
+
+/**
+ * A layer is fusable into @p producer only when it operates on the
+ * producer's output volume elementwise (same element count).
+ */
+bool
+fusable(const model::Layer &producer, const model::Layer &candidate)
+{
+    if (fusedPasses(candidate) < 0)
+        return false;
+    return candidate.inputBytes() == producer.outputBytes();
+}
+
+} // anonymous namespace
+
+model::Network
+fuseNetwork(const model::Network &net, FusionReport *report)
+{
+    model::Network fused;
+    fused.name = net.name;
+    for (const model::Layer &layer : net.layers) {
+        if (!fused.layers.empty() && fused.layers.back().isCubeLayer() &&
+            fusable(fused.layers.back(), layer)) {
+            fused.layers.back().fusedEvictPasses += fusedPasses(layer);
+            continue;
+        }
+        fused.add(layer);
+    }
+    if (report) {
+        report->layersBefore = net.layers.size();
+        report->layersAfter = fused.layers.size();
+    }
+    return fused;
+}
+
+} // namespace compiler
+} // namespace ascend

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Operator fusion (the graph-engine optimization behind the paper's
+ * fusion-group granularity): normalization, activation, and residual
+ * layers that follow a cube layer execute as extra vector passes
+ * inside that layer's output eviction, instead of round-tripping the
+ * activation tensor through L1/LLC.
+ *
+ * Fusing removes the fused layers' MTE traffic entirely (their data
+ * never leaves UB) and replaces their standalone vector programs with
+ * passes already overlapped under the cube — the mechanism that makes
+ * the paper's per-operator ratio charts meaningful.
+ */
+
+#ifndef ASCEND_COMPILER_FUSION_HH
+#define ASCEND_COMPILER_FUSION_HH
+
+#include "model/network.hh"
+
+namespace ascend {
+namespace compiler {
+
+/** Statistics of one fusion pass. */
+struct FusionReport
+{
+    std::size_t layersBefore = 0;
+    std::size_t layersAfter = 0;
+    std::size_t fusedLayers() const { return layersBefore - layersAfter; }
+};
+
+/**
+ * Fold fusable vector layers (BatchNorm, Activation, Elementwise)
+ * into the preceding cube layer's eviction. Softmax / LayerNorm /
+ * pooling / depthwise stay standalone (they reduce across elements,
+ * which the eviction path cannot do in one pass).
+ *
+ * @param[out] report Optional pass statistics.
+ * @return the fused network.
+ */
+model::Network fuseNetwork(const model::Network &net,
+                           FusionReport *report = nullptr);
+
+} // namespace compiler
+} // namespace ascend
+
+#endif // ASCEND_COMPILER_FUSION_HH

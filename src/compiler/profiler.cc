@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Profiler implementation.
+ */
+
+#include "compiler/profiler.hh"
+
+namespace ascend {
+namespace compiler {
+
+Profiler::Profiler(const arch::CoreConfig &config, CompileOptions options)
+    : layerCompiler_(config, options), sim_(config)
+{
+}
+
+std::vector<LayerRun>
+Profiler::runInference(const model::Network &net) const
+{
+    std::vector<LayerRun> runs;
+    runs.reserve(net.layers.size());
+    for (const model::Layer &layer : net.layers) {
+        LayerRun run;
+        run.layer = layer;
+        run.result = sim_.run(layerCompiler_.compile(layer));
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+std::vector<std::vector<LayerRun>>
+Profiler::runTraining(const model::Network &net,
+                      model::OptimizerKind opt) const
+{
+    std::vector<std::vector<LayerRun>> steps;
+    steps.reserve(net.layers.size());
+    for (const model::TrainingStep &step :
+         model::trainingSteps(net, opt)) {
+        std::vector<LayerRun> runs;
+        runs.reserve(1 + step.bwd.size());
+        LayerRun fwd;
+        fwd.layer = step.fwd;
+        fwd.result = sim_.run(layerCompiler_.compile(step.fwd));
+        runs.push_back(std::move(fwd));
+        for (const model::Layer &b : step.bwd) {
+            LayerRun run;
+            run.layer = b;
+            run.result = sim_.run(layerCompiler_.compile(b));
+            runs.push_back(std::move(run));
+        }
+        steps.push_back(std::move(runs));
+    }
+    return steps;
+}
+
+void
+Profiler::addRunToGroup(GroupProfile &group, const LayerRun &run)
+{
+    group.cubeBusy += run.result.pipe(isa::Pipe::Cube).busyCycles;
+    group.vectorBusy += run.result.pipe(isa::Pipe::Vector).busyCycles;
+    group.totalCycles += run.result.totalCycles;
+    group.l1ReadBytes += run.result.bus(isa::Bus::L1Read);
+    group.l1WriteBytes += run.result.bus(isa::Bus::L1Write);
+    group.extBytes += run.result.extBytes();
+    group.flops += run.result.totalFlops;
+}
+
+std::vector<GroupProfile>
+Profiler::fusionGroups(const std::vector<LayerRun> &runs)
+{
+    std::vector<GroupProfile> groups;
+    for (const LayerRun &run : runs) {
+        if (run.layer.isCubeLayer() || groups.empty()) {
+            GroupProfile g;
+            g.name = run.layer.name;
+            groups.push_back(std::move(g));
+        }
+        addRunToGroup(groups.back(), run);
+    }
+    return groups;
+}
+
+std::vector<GroupProfile>
+Profiler::fusionGroupsTraining(const std::vector<std::vector<LayerRun>> &runs)
+{
+    std::vector<GroupProfile> groups;
+    for (const std::vector<LayerRun> &step : runs) {
+        simAssert(!step.empty(), "empty training step");
+        const LayerRun &fwd = step.front();
+        if (fwd.layer.isCubeLayer() || groups.empty()) {
+            GroupProfile g;
+            g.name = fwd.layer.name;
+            groups.push_back(std::move(g));
+        }
+        for (const LayerRun &run : step)
+            addRunToGroup(groups.back(), run);
+    }
+    return groups;
+}
+
+Cycles
+Profiler::totalCycles(const std::vector<LayerRun> &runs)
+{
+    Cycles total = 0;
+    for (const LayerRun &run : runs)
+        total += run.result.totalCycles;
+    return total;
+}
+
+core::SimResult
+Profiler::inferenceResult(const model::Network &net) const
+{
+    core::SimResult total;
+    for (const LayerRun &run : runInference(net))
+        total.accumulate(run.result);
+    return total;
+}
+
+} // namespace compiler
+} // namespace ascend

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Network-level profiling: runs every layer of a network through the
+ * core simulator and aggregates the statistics the paper plots.
+ *
+ * Fusion groups: the paper's per-layer ratio charts (Figs. 4-8) count
+ * each cube operator together with the vector post-operators that the
+ * real tool-chain fuses behind it (bias, normalization, activation,
+ * residual add). We reproduce that granularity by grouping each cube
+ * layer with all following non-cube layers up to the next cube layer.
+ */
+
+#ifndef ASCEND_COMPILER_PROFILER_HH
+#define ASCEND_COMPILER_PROFILER_HH
+
+#include <vector>
+
+#include "compiler/layer_compiler.hh"
+#include "core/core_sim.hh"
+#include "model/network.hh"
+
+namespace ascend {
+namespace compiler {
+
+/** Per-layer simulation outcome. */
+struct LayerRun
+{
+    model::Layer layer;
+    core::SimResult result;
+};
+
+/** Aggregated statistics of one fusion group (one chart point). */
+struct GroupProfile
+{
+    std::string name;          ///< name of the leading cube layer
+    Cycles cubeBusy = 0;
+    Cycles vectorBusy = 0;
+    Cycles totalCycles = 0;
+    Bytes l1ReadBytes = 0;
+    Bytes l1WriteBytes = 0;
+    Bytes extBytes = 0;
+    Flops flops = 0;
+
+    /** Cube/vector execution-time ratio (Figs. 4-8's y-axis). */
+    double
+    cubeVectorRatio() const
+    {
+        return vectorBusy ? double(cubeBusy) / double(vectorBusy) : 0.0;
+    }
+
+    /** Average L1 read bandwidth in bits per cycle (Fig. 9's y-axis). */
+    double
+    l1ReadBitsPerCycle() const
+    {
+        return totalCycles ? 8.0 * double(l1ReadBytes) / totalCycles : 0.0;
+    }
+
+    double
+    l1WriteBitsPerCycle() const
+    {
+        return totalCycles ? 8.0 * double(l1WriteBytes) / totalCycles : 0.0;
+    }
+};
+
+/**
+ * Runs networks on one core configuration.
+ */
+class Profiler
+{
+  public:
+    explicit Profiler(const arch::CoreConfig &config,
+                      CompileOptions options = {});
+
+    /** Compile and simulate every layer of @p net (inference). */
+    std::vector<LayerRun> runInference(const model::Network &net) const;
+
+    /**
+     * Compile and simulate forward and backward work (one training
+     * step without the optimizer's host-side work). The returned runs
+     * are indexed like trainingSteps(net): runs for step i contain
+     * the forward layer followed by its backward layers.
+     */
+    std::vector<std::vector<LayerRun>>
+    runTraining(const model::Network &net,
+                model::OptimizerKind opt =
+                    model::OptimizerKind::Sgd) const;
+
+    /** Aggregate inference runs into fusion groups. */
+    static std::vector<GroupProfile>
+    fusionGroups(const std::vector<LayerRun> &runs);
+
+    /**
+     * Aggregate training runs into fusion groups: same grouping as
+     * inference over the forward layers, with each group also
+     * absorbing the backward work of its members.
+     */
+    static std::vector<GroupProfile>
+    fusionGroupsTraining(const std::vector<std::vector<LayerRun>> &runs);
+
+    /** Total cycles across runs. */
+    static Cycles totalCycles(const std::vector<LayerRun> &runs);
+
+    /** End-to-end simulation of a network; sums per-layer results. */
+    core::SimResult inferenceResult(const model::Network &net) const;
+
+    const arch::CoreConfig &config() const { return sim_.config(); }
+
+  private:
+    static void addRunToGroup(GroupProfile &group, const LayerRun &run);
+
+    LayerCompiler layerCompiler_;
+    core::CoreSim sim_;
+};
+
+} // namespace compiler
+} // namespace ascend
+
+#endif // ASCEND_COMPILER_PROFILER_HH

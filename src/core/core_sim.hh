@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cycle-level simulator of one Ascend core.
+ *
+ * Models the control structure of paper Fig. 1 / Fig. 3: the PSQ
+ * dispatches instructions in program order at a bounded rate into
+ * per-pipe in-order queues; the six pipes execute asynchronously and
+ * synchronize only through counting-semaphore flags and full barriers.
+ *
+ * The simulator is deterministic and event-driven at instruction
+ * granularity: instruction latencies and byte counts are precomputed
+ * by the compiler from a CoreConfig, so the kernel here is a pure
+ * dependency scheduler. A blocked WAIT_FLAG with no matching SET_FLAG
+ * anywhere upstream is reported as a deadlock with full pipe state
+ * (this catches compiler synchronization bugs in tests).
+ */
+
+#ifndef ASCEND_CORE_CORE_SIM_HH
+#define ASCEND_CORE_CORE_SIM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/core_config.hh"
+#include "core/trace.hh"
+#include "isa/program.hh"
+
+namespace ascend {
+namespace core {
+
+/** Per-pipe execution statistics. */
+struct PipeStats
+{
+    Cycles busyCycles = 0;   ///< cycles spent executing instructions
+    Cycles finishCycle = 0;  ///< completion time of the pipe's last instr
+    std::uint64_t instrs = 0;
+};
+
+/** Result of simulating one program on one core. */
+struct SimResult
+{
+    Cycles totalCycles = 0;
+    Flops totalFlops = 0;
+    std::uint64_t instrsExecuted = 0;
+    std::array<PipeStats, isa::kNumPipes> pipes{};
+    std::array<Bytes, isa::kNumBuses> busBytes{};
+
+    const PipeStats &
+    pipe(isa::Pipe p) const
+    {
+        return pipes[static_cast<std::size_t>(p)];
+    }
+
+    Bytes
+    bus(isa::Bus b) const
+    {
+        return busBytes[static_cast<std::size_t>(b)];
+    }
+
+    /** Total off-core traffic across the three external buses. */
+    Bytes
+    extBytes() const
+    {
+        return bus(isa::Bus::ExtA) + bus(isa::Bus::ExtB) +
+               bus(isa::Bus::ExtOut);
+    }
+
+    /** Average bytes per cycle on @p b over the whole program. */
+    double
+    busBytesPerCycle(isa::Bus b) const
+    {
+        return totalCycles ? static_cast<double>(bus(b)) / totalCycles : 0;
+    }
+
+    /** Busy fraction of @p p over the whole program. */
+    double
+    utilization(isa::Pipe p) const
+    {
+        return totalCycles
+            ? static_cast<double>(pipe(p).busyCycles) / totalCycles : 0;
+    }
+
+    /** Wall-clock seconds at @p clock_ghz. */
+    double
+    seconds(double clock_ghz) const
+    {
+        return static_cast<double>(totalCycles) / (clock_ghz * 1e9);
+    }
+
+    /** Merge another result (sequential composition of programs). */
+    void accumulate(const SimResult &other);
+};
+
+/**
+ * The core simulator. Stateless between run() calls; safe to reuse.
+ */
+class CoreSim
+{
+  public:
+    explicit CoreSim(const arch::CoreConfig &config) : config_(config)
+    {
+        config_.validate();
+    }
+
+    /**
+     * Simulate @p program to completion.
+     *
+     * @param program The instruction sequence.
+     * @param trace Optional collector receiving one event per
+     *        executed instruction (for Chrome-trace visualization).
+     * @return timing and traffic statistics.
+     * Panics (with pipe-state diagnostics) if the program deadlocks.
+     */
+    SimResult run(const isa::Program &program,
+                  Trace *trace = nullptr) const;
+
+    const arch::CoreConfig &config() const { return config_; }
+
+  private:
+    arch::CoreConfig config_;
+};
+
+} // namespace core
+} // namespace ascend
+
+#endif // ASCEND_CORE_CORE_SIM_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cost model implementation.
+ */
+
+#include "core/cost_model.hh"
+
+#include <algorithm>
+
+namespace ascend {
+namespace core {
+
+CostModel::CostModel(const arch::CoreConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+Cycles
+CostModel::cubeGemm(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                    DataType dt) const
+{
+    const arch::CubeShape shape = config_.cubeShapeFor(dt);
+    const std::uint64_t fractals =
+        ceilDiv(m, shape.m0) * ceilDiv(k, shape.k0) * ceilDiv(n, shape.n0);
+    return kComputeOverhead + fractals;
+}
+
+Cycles
+CostModel::vectorOp(std::uint64_t elems, DataType dt, double passes) const
+{
+    const std::uint64_t lanes = config_.vectorLanes(dt);
+    const auto work = static_cast<std::uint64_t>(
+        static_cast<double>(elems) * std::max(passes, 1.0));
+    const Cycles compute = ceilDiv(work, lanes);
+    // Each pass streams operands through the UB port.
+    const Bytes traffic = bytesOf(dt, work) * 2; // read + write
+    const Cycles bandwidth = ceilDiv(traffic, 2 *
+                                     config_.busUbBytesPerCycle);
+    return kComputeOverhead + std::max(compute, bandwidth);
+}
+
+Cycles
+CostModel::mte1A(Bytes l0_bytes) const
+{
+    return busCycles(l0_bytes, config_.busABytesPerCycle);
+}
+
+Cycles
+CostModel::mte1B(Bytes l0_bytes) const
+{
+    return busCycles(l0_bytes, config_.busBBytesPerCycle);
+}
+
+Cycles
+CostModel::mte2(Bytes bytes) const
+{
+    return busCycles(bytes, config_.busExtBytesPerCycle);
+}
+
+Cycles
+CostModel::mte3Ext(Bytes bytes) const
+{
+    return busCycles(bytes, std::min(config_.busUbBytesPerCycle,
+                                     config_.busExtBytesPerCycle));
+}
+
+Cycles
+CostModel::mte3L1(Bytes bytes) const
+{
+    return busCycles(bytes, config_.busUbBytesPerCycle);
+}
+
+} // namespace core
+} // namespace ascend

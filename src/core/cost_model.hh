@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Latency and traffic cost model for core instructions.
+ *
+ * The compiler consults this model when it lowers tiled work into ISA
+ * instructions; the resulting cycles/bytes are baked into each Instr,
+ * keeping the simulator kernel a pure scheduler. Costs follow the
+ * paper's stated throughputs: the cube retires one m0 x k0 x n0
+ * fractal per cycle, the vector unit processes `width` bytes per
+ * cycle, and each MTE channel is bounded by its bus width (Table 5).
+ * Small fixed overheads model instruction start-up / SRAM latency,
+ * which is what makes tiny tiles inefficient (the paper's argument
+ * against oversized cubes and systolic arrays).
+ */
+
+#ifndef ASCEND_CORE_COST_MODEL_HH
+#define ASCEND_CORE_COST_MODEL_HH
+
+#include "arch/core_config.hh"
+
+namespace ascend {
+namespace core {
+
+/** Cost of a data-movement instruction. */
+struct MoveCost
+{
+    Cycles cycles = 0;
+    Bytes srcBytes = 0; ///< bytes read from the source buffer
+    Bytes dstBytes = 0; ///< bytes written to the destination buffer
+};
+
+/**
+ * Per-core-configuration instruction cost model.
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(const arch::CoreConfig &config);
+
+    /** Fixed start-up cost of a cube / vector instruction. */
+    static constexpr Cycles kComputeOverhead = 2;
+    /** Fixed start-up cost of an MTE transfer (SRAM access latency). */
+    static constexpr Cycles kMoveOverhead = 4;
+
+    /**
+     * Cycles for a tiled GEMM of logical shape m x k x n with source
+     * type @p dt: ceil over the native fractal in each dimension.
+     */
+    Cycles cubeGemm(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                    DataType dt) const;
+
+    /** MAC ops (2 * m * k * n) of the same GEMM. */
+    static Flops
+    gemmFlops(std::uint64_t m, std::uint64_t k, std::uint64_t n)
+    {
+        return 2 * m * k * n;
+    }
+
+    /**
+     * Cycles for a vector operation over @p elems elements of @p dt,
+     * performing @p passes datapath passes per element (e.g. softmax
+     * needs several), bounded by both lane throughput and UB port
+     * bandwidth.
+     */
+    Cycles vectorOp(std::uint64_t elems, DataType dt,
+                    double passes = 1.0) const;
+
+    /** MTE1 transfer L1 -> L0A. @p l0_bytes is the expanded volume. */
+    Cycles mte1A(Bytes l0_bytes) const;
+
+    /** MTE1 transfer L1 -> L0B. */
+    Cycles mte1B(Bytes l0_bytes) const;
+
+    /** MTE2 transfer external -> L1. */
+    Cycles mte2(Bytes bytes) const;
+
+    /** MTE3 transfer UB -> external. */
+    Cycles mte3Ext(Bytes bytes) const;
+
+    /** MTE3 transfer UB -> L1 (layer-to-layer forwarding). */
+    Cycles mte3L1(Bytes bytes) const;
+
+    const arch::CoreConfig &config() const { return config_; }
+
+  private:
+    static Cycles
+    busCycles(Bytes bytes, Bytes bus_bytes_per_cycle)
+    {
+        return kMoveOverhead + ceilDiv(bytes, bus_bytes_per_cycle);
+    }
+
+    arch::CoreConfig config_;
+};
+
+} // namespace core
+} // namespace ascend
+
+#endif // ASCEND_CORE_COST_MODEL_HH

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Functional datapath implementation.
+ */
+
+#include "core/functional.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/float16.hh"
+#include "common/logging.hh"
+
+namespace ascend {
+namespace core {
+namespace functional {
+
+namespace {
+
+void
+checkMatrix(const Tensor &t, const char *what)
+{
+    simAssert(t.shape().size() == 2, what);
+}
+
+} // anonymous namespace
+
+Tensor
+cubeGemm(const Tensor &a, const Tensor &b)
+{
+    checkMatrix(a, "cubeGemm: A must be 2D");
+    checkMatrix(b, "cubeGemm: B must be 2D");
+    const std::size_t m = a.shape()[0];
+    const std::size_t k = a.shape()[1];
+    const std::size_t n = b.shape()[1];
+    simAssert(b.shape()[0] == k, "cubeGemm: inner dims mismatch");
+
+    Tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f; // fp32 accumulator
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                // Sources round through fp16 storage.
+                acc += roundToHalf(a.at2(i, kk)) *
+                       roundToHalf(b.at2(kk, j));
+            }
+            c.at2(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+referenceGemm(const Tensor &a, const Tensor &b)
+{
+    checkMatrix(a, "referenceGemm: A must be 2D");
+    checkMatrix(b, "referenceGemm: B must be 2D");
+    const std::size_t m = a.shape()[0];
+    const std::size_t k = a.shape()[1];
+    const std::size_t n = b.shape()[1];
+    simAssert(b.shape()[0] == k, "referenceGemm: inner dims mismatch");
+    Tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a.at2(i, kk) * b.at2(kk, j);
+            c.at2(i, j) = acc;
+        }
+    return c;
+}
+
+Tensor
+img2col(const Tensor &input, const model::Layer &conv)
+{
+    simAssert(input.shape().size() == 4, "img2col needs NCHW input");
+    const std::size_t batch = input.shape()[0];
+    const std::size_t channels = input.shape()[1];
+    const std::size_t in_h = input.shape()[2];
+    const std::size_t in_w = input.shape()[3];
+    simAssert(batch == conv.batch && channels == conv.inC &&
+                  in_h == conv.inH && in_w == conv.inW,
+              "img2col: tensor does not match layer geometry");
+
+    const std::size_t out_h = conv.outH();
+    const std::size_t out_w = conv.outW();
+    const std::size_t rows = batch * out_h * out_w;
+    const std::size_t cols =
+        channels * conv.kernelH * conv.kernelW;
+    Tensor patches({rows, cols});
+
+    std::size_t row = 0;
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow, ++row) {
+                std::size_t col = 0;
+                for (std::size_t c = 0; c < channels; ++c) {
+                    for (unsigned kh = 0; kh < conv.kernelH; ++kh) {
+                        for (unsigned kw = 0; kw < conv.kernelW;
+                             ++kw, ++col) {
+                            const long ih =
+                                long(oh) * conv.strideH + kh -
+                                conv.padH;
+                            const long iw =
+                                long(ow) * conv.strideW + kw -
+                                conv.padW;
+                            float v = 0.0f; // zero padding
+                            if (ih >= 0 && iw >= 0 &&
+                                ih < long(in_h) && iw < long(in_w))
+                                v = input.at4(n, c, std::size_t(ih),
+                                              std::size_t(iw));
+                            patches.at2(row, col) = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return patches;
+}
+
+Tensor
+weightsToMatrix(const Tensor &weights)
+{
+    simAssert(weights.shape().size() == 4,
+              "weightsToMatrix needs Co x C x kh x kw");
+    const std::size_t co = weights.shape()[0];
+    const std::size_t rows =
+        weights.shape()[1] * weights.shape()[2] * weights.shape()[3];
+    Tensor m({rows, co});
+    for (std::size_t o = 0; o < co; ++o)
+        for (std::size_t r = 0; r < rows; ++r)
+            m.at2(r, o) = weights[o * rows + r];
+    return m;
+}
+
+Tensor
+referenceConv2d(const Tensor &input, const Tensor &weights,
+                const model::Layer &conv)
+{
+    const std::size_t out_h = conv.outH();
+    const std::size_t out_w = conv.outW();
+    Tensor out({std::size_t(conv.batch), std::size_t(conv.outC), out_h,
+                out_w});
+    for (std::size_t n = 0; n < conv.batch; ++n) {
+        for (std::size_t o = 0; o < conv.outC; ++o) {
+            for (std::size_t oh = 0; oh < out_h; ++oh) {
+                for (std::size_t ow = 0; ow < out_w; ++ow) {
+                    float acc = 0.0f;
+                    for (std::size_t c = 0; c < conv.inC; ++c) {
+                        for (unsigned kh = 0; kh < conv.kernelH; ++kh) {
+                            for (unsigned kw = 0; kw < conv.kernelW;
+                                 ++kw) {
+                                const long ih =
+                                    long(oh) * conv.strideH + kh -
+                                    conv.padH;
+                                const long iw =
+                                    long(ow) * conv.strideW + kw -
+                                    conv.padW;
+                                if (ih < 0 || iw < 0 ||
+                                    ih >= long(conv.inH) ||
+                                    iw >= long(conv.inW))
+                                    continue;
+                                acc += input.at4(n, c, std::size_t(ih),
+                                                 std::size_t(iw)) *
+                                       weights.at4(o, c, kh, kw);
+                            }
+                        }
+                    }
+                    out.at4(n, o, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+conv2dViaCube(const Tensor &input, const Tensor &weights,
+              const model::Layer &conv)
+{
+    const Tensor patches = img2col(input, conv);
+    const Tensor wmat = weightsToMatrix(weights);
+    const Tensor flat = cubeGemm(patches, wmat); // (N*Ho*Wo) x Co
+    const std::size_t out_h = conv.outH();
+    const std::size_t out_w = conv.outW();
+    Tensor out({std::size_t(conv.batch), std::size_t(conv.outC), out_h,
+                out_w});
+    std::size_t row = 0;
+    for (std::size_t n = 0; n < conv.batch; ++n)
+        for (std::size_t oh = 0; oh < out_h; ++oh)
+            for (std::size_t ow = 0; ow < out_w; ++ow, ++row)
+                for (std::size_t o = 0; o < conv.outC; ++o)
+                    out.at4(n, o, oh, ow) = flat.at2(row, o);
+    return out;
+}
+
+Tensor
+vectorRelu(const Tensor &in)
+{
+    Tensor out = in;
+    for (float &v : out.data())
+        v = std::max(v, 0.0f);
+    return out;
+}
+
+Tensor
+vectorAdd(const Tensor &a, const Tensor &b)
+{
+    simAssert(a.numel() == b.numel(), "vectorAdd: size mismatch");
+    Tensor out = a;
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        out[i] += b[i];
+    return out;
+}
+
+Tensor
+vectorSoftmax(const Tensor &in, std::size_t row_len)
+{
+    simAssert(row_len > 0 && in.numel() % row_len == 0,
+              "softmax row length must divide the tensor");
+    Tensor out = in;
+    for (std::size_t base = 0; base < in.numel(); base += row_len) {
+        float mx = -1e30f;
+        for (std::size_t i = 0; i < row_len; ++i)
+            mx = std::max(mx, in[base + i]);
+        float sum = 0.0f;
+        for (std::size_t i = 0; i < row_len; ++i) {
+            out[base + i] = std::exp(in[base + i] - mx);
+            sum += out[base + i];
+        }
+        for (std::size_t i = 0; i < row_len; ++i)
+            out[base + i] /= sum;
+    }
+    return out;
+}
+
+Tensor
+vectorScaleShift(const Tensor &in, float scale, float shift)
+{
+    Tensor out = in;
+    for (float &v : out.data())
+        v = v * scale + shift;
+    return out;
+}
+
+Tensor
+runSequential(const model::Network &net, const Tensor &input, Rng &rng)
+{
+    using model::LayerKind;
+    Tensor cur = input;
+    for (const model::Layer &layer : net.layers) {
+        switch (layer.kind) {
+          case LayerKind::Conv2d: {
+            const Tensor weights = Tensor::random(
+                {layer.outC, layer.inC, layer.kernelH, layer.kernelW},
+                rng, 0.2f);
+            cur = conv2dViaCube(cur, weights, layer);
+            break;
+          }
+          case LayerKind::Linear: {
+            simAssert(cur.numel() == layer.gemmM * layer.gemmK,
+                      "runSequential: linear input size mismatch");
+            Tensor a({std::size_t(layer.gemmM),
+                      std::size_t(layer.gemmK)});
+            a.data() = cur.data();
+            const Tensor w = Tensor::random(
+                {std::size_t(layer.gemmK), std::size_t(layer.gemmN)},
+                rng, 0.2f);
+            cur = cubeGemm(a, w);
+            break;
+          }
+          case LayerKind::Pool2d: {
+            // Average pooling.
+            const std::size_t out_h = layer.outH();
+            const std::size_t out_w = layer.outW();
+            Tensor out({std::size_t(layer.batch),
+                        std::size_t(layer.outC), out_h, out_w});
+            for (std::size_t n = 0; n < layer.batch; ++n)
+                for (std::size_t c = 0; c < layer.outC; ++c)
+                    for (std::size_t oh = 0; oh < out_h; ++oh)
+                        for (std::size_t ow = 0; ow < out_w; ++ow) {
+                            float acc = 0;
+                            unsigned cnt = 0;
+                            for (unsigned kh = 0; kh < layer.kernelH;
+                                 ++kh)
+                                for (unsigned kw = 0;
+                                     kw < layer.kernelW; ++kw) {
+                                    const std::size_t ih =
+                                        oh * layer.strideH + kh;
+                                    const std::size_t iw =
+                                        ow * layer.strideW + kw;
+                                    if (ih < layer.inH &&
+                                        iw < layer.inW) {
+                                        acc += cur.at4(n, c, ih, iw);
+                                        ++cnt;
+                                    }
+                                }
+                            out.at4(n, c, oh, ow) =
+                                cnt ? acc / float(cnt) : 0.0f;
+                        }
+            cur = out;
+            break;
+          }
+          case LayerKind::BatchNorm:
+            cur = vectorScaleShift(cur, 1.0f, 0.0f);
+            break;
+          case LayerKind::Activation:
+            switch (layer.act) {
+              case model::ActKind::Relu:
+                cur = vectorRelu(cur);
+                break;
+              case model::ActKind::Relu6:
+                cur = vectorRelu(cur);
+                for (float &v : cur.data())
+                    v = std::min(v, 6.0f);
+                break;
+              case model::ActKind::Sigmoid:
+                for (float &v : cur.data())
+                    v = 1.0f / (1.0f + std::exp(-v));
+                break;
+              default:
+                // GELU/Swish: tanh-free approximation x * sigmoid(1.7x).
+                for (float &v : cur.data())
+                    v = v / (1.0f + std::exp(-1.7f * v));
+                break;
+            }
+            break;
+          case LayerKind::Softmax:
+            cur = vectorSoftmax(cur, layer.rowLen ? layer.rowLen
+                                                  : cur.numel());
+            break;
+          case LayerKind::Elementwise:
+          case LayerKind::CvOp:
+            // Sequential runner: pass-through.
+            break;
+          default:
+            panic("runSequential: unsupported layer kind %s (%s)",
+                  toString(layer.kind), layer.name.c_str());
+        }
+    }
+    return cur;
+}
+
+} // namespace functional
+} // namespace core
+} // namespace ascend

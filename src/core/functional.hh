@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Functional models of the datapath: what the units *compute*, as
+ * opposed to how long they take (cost_model.hh).
+ *
+ * The functional layer validates the semantics the timing model
+ * assumes: the MTE's img2col transform really linearizes a
+ * convolution into the GEMM shape the compiler tiles
+ * (m = N*Ho*Wo, k = C*kh*kw, n = Co), the cube's mixed-precision
+ * discipline (fp16 sources, fp32 accumulation) matches the
+ * mixed-precision-training reference the paper cites, and the vector
+ * unit's post-operations compose as the compiler fuses them.
+ */
+
+#ifndef ASCEND_CORE_FUNCTIONAL_HH
+#define ASCEND_CORE_FUNCTIONAL_HH
+
+#include "common/rng.hh"
+#include "model/network.hh"
+#include "model/tensor.hh"
+
+namespace ascend {
+namespace core {
+namespace functional {
+
+using model::Tensor;
+
+/**
+ * Cube GEMM: C = A (m x k) * B (k x n), with both operands rounded
+ * through fp16 and accumulation in fp32 — the 16x16x16 datapath's
+ * numerics.
+ */
+Tensor cubeGemm(const Tensor &a, const Tensor &b);
+
+/** Reference GEMM in full fp32 (for error-bound comparisons). */
+Tensor referenceGemm(const Tensor &a, const Tensor &b);
+
+/**
+ * The MTE img2col transform: NCHW input -> (N*Ho*Wo) x (C*kh*kw)
+ * patch matrix for the given convolution geometry.
+ */
+Tensor img2col(const Tensor &input, const model::Layer &conv);
+
+/**
+ * Reshape a conv weight tensor (Co x C x kh x kw) into the
+ * (C*kh*kw) x Co matrix the cube multiplies against the patch matrix.
+ */
+Tensor weightsToMatrix(const Tensor &weights);
+
+/**
+ * Direct NCHW convolution reference (no img2col); output is
+ * N x Co x Ho x Wo.
+ */
+Tensor referenceConv2d(const Tensor &input, const Tensor &weights,
+                       const model::Layer &conv);
+
+/**
+ * Convolution the Ascend way: img2col + cube GEMM, reshaped back to
+ * NCHW. Bit-compatible with referenceConv2d up to fp16 rounding.
+ */
+Tensor conv2dViaCube(const Tensor &input, const Tensor &weights,
+                     const model::Layer &conv);
+
+/**
+ * Run a *sequential* network functionally: weights are generated
+ * deterministically from @p rng per layer, convolutions go through
+ * the img2col + cube path, pooling is average pooling, batch-norm
+ * applies a fixed scale/shift, and residual elementwise layers act
+ * as identity (a sequential runner has no second branch to add).
+ * Supports the layer kinds a feed-forward CNN/MLP uses; panics on
+ * attention-style layers.
+ */
+Tensor runSequential(const model::Network &net, const Tensor &input,
+                     Rng &rng);
+
+/// @{ Vector-unit operations (elementwise over the flat tensor).
+Tensor vectorRelu(const Tensor &in);
+Tensor vectorAdd(const Tensor &a, const Tensor &b);
+/** Row-wise numerically-stable softmax over the last dimension. */
+Tensor vectorSoftmax(const Tensor &in, std::size_t row_len);
+/** Inference batch-norm: per-element scale + shift (folded stats). */
+Tensor vectorScaleShift(const Tensor &in, float scale, float shift);
+/// @}
+
+} // namespace functional
+} // namespace core
+} // namespace ascend
+
+#endif // ASCEND_CORE_FUNCTIONAL_HH

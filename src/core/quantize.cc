@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quantization implementation.
+ */
+
+#include "core/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace core {
+namespace quant {
+
+QuantParams
+chooseParams(const Tensor &t, int bits)
+{
+    simAssert(bits == 8 || bits == 4, "quantization supports int8/int4");
+    float max_abs = 0.0f;
+    for (float v : t.data())
+        max_abs = std::max(max_abs, std::fabs(v));
+    QuantParams p;
+    p.bits = bits;
+    p.scale = max_abs > 0 ? max_abs / float(p.qmax()) : 1.0f;
+    return p;
+}
+
+std::vector<std::int32_t>
+quantize(const Tensor &t, const QuantParams &params)
+{
+    std::vector<std::int32_t> q(t.numel());
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+        const float scaled = t[i] / params.scale;
+        const auto rounded =
+            static_cast<std::int32_t>(std::lround(scaled));
+        q[i] = std::clamp(rounded, params.qmin(), params.qmax());
+    }
+    return q;
+}
+
+Tensor
+dequantize(const std::vector<std::int32_t> &q, const QuantParams &params,
+           const Tensor &shape_like)
+{
+    simAssert(q.size() == shape_like.numel(),
+              "dequantize: size mismatch");
+    Tensor out(shape_like.shape());
+    for (std::size_t i = 0; i < q.size(); ++i)
+        out[i] = float(q[i]) * params.scale;
+    return out;
+}
+
+Tensor
+quantizedGemm(const Tensor &a, const Tensor &b, int bits)
+{
+    simAssert(a.shape().size() == 2 && b.shape().size() == 2,
+              "quantizedGemm needs matrices");
+    const std::size_t m = a.shape()[0];
+    const std::size_t k = a.shape()[1];
+    const std::size_t n = b.shape()[1];
+    simAssert(b.shape()[0] == k, "quantizedGemm: inner dims mismatch");
+
+    const QuantParams pa = chooseParams(a, bits);
+    const QuantParams pb = chooseParams(b, bits);
+    const auto qa = quantize(a, pa);
+    const auto qb = quantize(b, pb);
+
+    Tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            std::int64_t acc = 0; // int32-class accumulator
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += std::int64_t(qa[i * k + kk]) * qb[kk * n + j];
+            c.at2(i, j) = float(acc) * pa.scale * pb.scale;
+        }
+    }
+    return c;
+}
+
+double
+rmsError(const Tensor &a, const Tensor &b)
+{
+    simAssert(a.numel() == b.numel(), "rmsError: size mismatch");
+    double sum = 0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        const double d = double(a[i]) - double(b[i]);
+        sum += d * d;
+    }
+    return std::sqrt(sum / double(std::max<std::size_t>(1, a.numel())));
+}
+
+} // namespace quant
+} // namespace core
+} // namespace ascend

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quantization support for the low-precision modes.
+ *
+ * Section 3.3: "the precision of inference computing for each DNN
+ * model can be reduced as a trade-off between model accuracy and
+ * calculating time / energy consumption. ... the Ascend core supports
+ * int4 precision." Section 2.2 assigns quantize/dequantize to the
+ * vector unit. This module provides the functional side of that
+ * trade-off: symmetric per-tensor int8/int4 quantization, integer
+ * GEMM with int32 accumulation, and error metrics, so the accuracy
+ * cost of each precision mode is measurable against the fp16 path.
+ */
+
+#ifndef ASCEND_CORE_QUANTIZE_HH
+#define ASCEND_CORE_QUANTIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/tensor.hh"
+
+namespace ascend {
+namespace core {
+namespace quant {
+
+using model::Tensor;
+
+/** Symmetric per-tensor quantization parameters. */
+struct QuantParams
+{
+    float scale = 1.0f; ///< real = scale * q
+    int bits = 8;       ///< 8 or 4
+
+    int qmax() const { return (1 << (bits - 1)) - 1; }
+    int qmin() const { return -qmax() - 1; }
+};
+
+/** Choose the symmetric scale covering @p t's max magnitude. */
+QuantParams chooseParams(const Tensor &t, int bits = 8);
+
+/** Quantize to clamped integers. */
+std::vector<std::int32_t> quantize(const Tensor &t,
+                                   const QuantParams &params);
+
+/** Dequantize back to floats (same shape as @p shape_like). */
+Tensor dequantize(const std::vector<std::int32_t> &q,
+                  const QuantParams &params, const Tensor &shape_like);
+
+/**
+ * Integer GEMM as the cube's int8/int4 mode executes it: quantize
+ * both operands per-tensor, multiply-accumulate in int32, dequantize
+ * with the product of the scales.
+ */
+Tensor quantizedGemm(const Tensor &a, const Tensor &b, int bits = 8);
+
+/** Root-mean-square error between two equally-sized tensors. */
+double rmsError(const Tensor &a, const Tensor &b);
+
+} // namespace quant
+} // namespace core
+} // namespace ascend
+
+#endif // ASCEND_CORE_QUANTIZE_HH

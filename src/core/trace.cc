@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Chrome trace-event JSON emission.
+ */
+
+#include "core/trace.hh"
+
+namespace ascend {
+namespace core {
+
+void
+Trace::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << (e.tag ? e.tag : "instr")
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << static_cast<unsigned>(e.pipe) + 1
+           << ",\"ts\":" << e.start << ",\"dur\":" << e.duration << "}";
+    }
+    // Thread-name metadata so the viewer labels pipes.
+    for (std::size_t p = 0; p < isa::kNumPipes; ++p) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << p + 1 << ",\"args\":{\"name\":\""
+           << isa::toString(static_cast<isa::Pipe>(p)) << "\"}}";
+    }
+    os << "]}\n";
+}
+
+Cycles
+Trace::busyCycles(isa::Pipe pipe) const
+{
+    Cycles total = 0;
+    for (const TraceEvent &e : events_)
+        if (e.pipe == pipe)
+            total += e.duration;
+    return total;
+}
+
+} // namespace core
+} // namespace ascend

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Instruction-stream size estimation and the instruction-compression
+ * technique of Section 3.2 ("the instruction compression technique is
+ * used in the Ascend-Lite core to reduce the bandwidth pressure on
+ * the NoC").
+ *
+ * Encoded size: a realistic fixed-width base encoding (8 B per
+ * executing instruction, 4 B per synchronization primitive).
+ * Compression exploits the extreme repetitiveness of tiled loop
+ * bodies: identical (opcode, pipe, flag) "shapes" recur thousands of
+ * times with only operand fields changing, so a dictionary of shapes
+ * plus per-instance deltas approaches the entropy of the stream.
+ */
+
+#ifndef ASCEND_ISA_ENCODING_HH
+#define ASCEND_ISA_ENCODING_HH
+
+#include "isa/program.hh"
+
+namespace ascend {
+namespace isa {
+
+/** Byte sizes of the baseline encoding. */
+constexpr Bytes kExecEncodedBytes = 8;
+constexpr Bytes kSyncEncodedBytes = 4;
+/** Dictionary entry cost and per-instance reference cost. */
+constexpr Bytes kDictEntryBytes = 10;
+constexpr Bytes kDictRefBytes = 2;
+
+/** Uncompressed instruction-stream size of @p program. */
+Bytes encodedBytes(const Program &program);
+
+/**
+ * Compressed size under shape-dictionary compression: unique
+ * (opcode, pipe, flag, tag) shapes are stored once; every occurrence
+ * costs a short reference plus an operand delta.
+ */
+Bytes compressedBytes(const Program &program);
+
+/** Compression ratio (compressed / uncompressed), in (0, 1]. */
+double compressionRatio(const Program &program);
+
+} // namespace isa
+} // namespace ascend
+
+#endif // ASCEND_ISA_ENCODING_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Name tables for ISA enums.
+ */
+
+#include "isa/instruction.hh"
+
+namespace ascend {
+namespace isa {
+
+const char *
+toString(Pipe pipe)
+{
+    switch (pipe) {
+      case Pipe::Scalar: return "scalar";
+      case Pipe::Cube:   return "cube";
+      case Pipe::Vector: return "vector";
+      case Pipe::Mte1:   return "mte1";
+      case Pipe::Mte2:   return "mte2";
+      case Pipe::Mte3:   return "mte3";
+      default:           return "?";
+    }
+}
+
+const char *
+toString(Bus bus)
+{
+    switch (bus) {
+      case Bus::L1Read:  return "l1Read";
+      case Bus::L1Write: return "l1Write";
+      case Bus::UbRead:  return "ubRead";
+      case Bus::UbWrite: return "ubWrite";
+      case Bus::ExtA:    return "extA";
+      case Bus::ExtB:    return "extB";
+      case Bus::ExtOut:  return "extOut";
+      default:           return "?";
+    }
+}
+
+} // namespace isa
+} // namespace ascend

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Instruction representation for the simulated Ascend core ISA.
+ *
+ * The Ascend core (paper Fig. 1) exposes six asynchronous execution
+ * pipes: the scalar unit, the cube unit, the vector unit, and three
+ * memory-transfer-engine channels (MTE1: L1 -> L0A/L0B with img2col /
+ * transpose / decompress, MTE2: external -> L1, MTE3: UB -> external /
+ * L1). Instructions are dispatched in program order by the PSQ into
+ * per-pipe queues and execute in order within each pipe; cross-pipe
+ * ordering is expressed only through explicit SET_FLAG / WAIT_FLAG
+ * pairs and full PIPE_BARRIERs (paper Fig. 3).
+ *
+ * Instructions carry their execution latency and per-bus byte counts,
+ * which are computed by the compiler from a CoreConfig; the core
+ * simulator only schedules them. This keeps the ISA a pure carrier and
+ * lets the same program be replayed under different statistics modes.
+ */
+
+#ifndef ASCEND_ISA_INSTRUCTION_HH
+#define ASCEND_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ascend {
+namespace isa {
+
+/** Execution pipes of an Ascend core. */
+enum class Pipe : std::uint8_t {
+    Scalar = 0,
+    Cube,
+    Vector,
+    Mte1,   ///< L1 -> L0A / L0B (img2col, transpose, decompress)
+    Mte2,   ///< external (LLC/DDR/HBM) -> L1
+    Mte3,   ///< UB -> external or UB -> L1
+    NumPipes,
+};
+
+constexpr std::size_t kNumPipes = static_cast<std::size_t>(Pipe::NumPipes);
+
+/** Human-readable pipe name. */
+const char *toString(Pipe pipe);
+
+/**
+ * Buses whose traffic the simulator accounts per instruction.
+ *
+ * L1Read / L1Write correspond to the profile the paper reports in
+ * Fig. 9; UbRead / UbWrite size the unified buffer; Ext is off-core
+ * traffic (towards LLC / HBM) used by the SoC-level roofline.
+ */
+enum class Bus : std::uint8_t {
+    L1Read = 0, ///< bytes read out of L1 (by MTE1, towards L0)
+    L1Write,    ///< bytes written into L1 (by MTE2 fill or MTE3)
+    UbRead,     ///< bytes read from the unified buffer
+    UbWrite,    ///< bytes written into the unified buffer
+    ExtA,       ///< inbound activation traffic (LLC/HBM -> core)
+    ExtB,       ///< inbound weight traffic (LLC/HBM -> core)
+    ExtOut,     ///< outbound result traffic (core -> LLC/HBM)
+    NumBuses,
+};
+
+constexpr std::size_t kNumBuses = static_cast<std::size_t>(Bus::NumBuses);
+
+const char *toString(Bus bus);
+
+/** Instruction kinds; Exec covers every latency-consuming operation. */
+enum class Opcode : std::uint8_t {
+    Exec,       ///< busy the pipe for `cycles`, move `busBytes`
+    SetFlag,    ///< increment flag `flagId` (zero-latency)
+    WaitFlag,   ///< block the pipe until flag `flagId` is nonzero
+    Barrier,    ///< PSQ-level barrier: drain all pipes before continuing
+};
+
+/** One byte-count accounting entry. */
+struct BusUse
+{
+    Bus bus = Bus::ExtA;
+    Bytes bytes = 0;
+};
+
+/** Maximum distinct buses a single instruction may touch. */
+constexpr std::size_t kMaxBusUses = 3;
+
+/**
+ * A single decoded instruction.
+ *
+ * Plain aggregate; programs routinely contain millions of these, so it
+ * stays small and trivially copyable.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Exec;
+    Pipe pipe = Pipe::Scalar;
+    std::uint8_t flagId = 0;
+    std::uint8_t numBusUses = 0;
+    Cycles cycles = 0;
+    Flops flops = 0;
+    std::array<BusUse, kMaxBusUses> busUses{};
+    const char *tag = nullptr; ///< static debug label, may be null
+};
+
+static_assert(sizeof(Instr) <= 80, "Instr should stay compact");
+
+/** Number of addressable synchronization flags. */
+constexpr std::size_t kNumFlags = 256;
+
+} // namespace isa
+} // namespace ascend
+
+#endif // ASCEND_ISA_INSTRUCTION_HH

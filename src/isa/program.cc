@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Program builder implementation.
+ */
+
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace isa {
+
+void
+Program::exec(Pipe pipe, Cycles cycles, Flops flops,
+              std::initializer_list<BusUse> buses, const char *tag)
+{
+    if (buses.size() > kMaxBusUses)
+        panic("Program %s: %zu bus uses on one instruction (max %zu)",
+              name_.c_str(), buses.size(), kMaxBusUses);
+    Instr i;
+    i.op = Opcode::Exec;
+    i.pipe = pipe;
+    i.cycles = cycles;
+    i.flops = flops;
+    i.tag = tag;
+    for (const BusUse &b : buses)
+        i.busUses[i.numBusUses++] = b;
+    instrs_.push_back(i);
+}
+
+void
+Program::setFlag(Pipe pipe, std::uint8_t id, const char *tag)
+{
+    Instr i;
+    i.op = Opcode::SetFlag;
+    i.pipe = pipe;
+    i.flagId = id;
+    i.tag = tag;
+    instrs_.push_back(i);
+}
+
+void
+Program::waitFlag(Pipe pipe, std::uint8_t id, const char *tag)
+{
+    Instr i;
+    i.op = Opcode::WaitFlag;
+    i.pipe = pipe;
+    i.flagId = id;
+    i.tag = tag;
+    instrs_.push_back(i);
+}
+
+void
+Program::barrier(const char *tag)
+{
+    Instr i;
+    i.op = Opcode::Barrier;
+    i.pipe = Pipe::Scalar;
+    i.tag = tag;
+    instrs_.push_back(i);
+}
+
+void
+Program::append(const Program &other)
+{
+    instrs_.insert(instrs_.end(), other.instrs_.begin(),
+                   other.instrs_.end());
+}
+
+std::vector<int>
+Program::flagBalance() const
+{
+    std::vector<int> balance(kNumFlags, 0);
+    for (const Instr &i : instrs_) {
+        if (i.op == Opcode::SetFlag)
+            ++balance[i.flagId];
+        else if (i.op == Opcode::WaitFlag)
+            --balance[i.flagId];
+    }
+    return balance;
+}
+
+} // namespace isa
+} // namespace ascend

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static program verification and disassembly.
+ *
+ * The explicit-synchronization programming model (Fig. 3) makes
+ * deadlocks a compiler-bug class: a WAIT_FLAG with no SET_FLAG
+ * upstream hangs the machine. verifyProgram() runs a conservative
+ * static check that catches the common classes without simulating:
+ *
+ *  - a WAIT_FLAG on a flag id that is never set anywhere,
+ *  - more waits than sets on some flag (token underflow),
+ *  - a wait before a barrier whose only matching sets come after the
+ *    barrier (the barrier stalls dispatch, so those sets can never
+ *    execute),
+ *  - zero-latency Exec instructions with nonzero bus traffic
+ *    (accounting bug).
+ *
+ * disassemble() renders a program as human-readable text for
+ * debugging and golden-file tests.
+ */
+
+#ifndef ASCEND_ISA_VERIFY_HH
+#define ASCEND_ISA_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ascend {
+namespace isa {
+
+/** One verification finding. */
+struct VerifyIssue
+{
+    std::size_t index;   ///< instruction index the issue anchors to
+    std::string message;
+};
+
+/**
+ * Statically check @p program; returns all findings (empty = clean).
+ * Conservative: a clean report does not *prove* deadlock freedom for
+ * arbitrary token interleavings, but every reported issue is real.
+ */
+std::vector<VerifyIssue> verifyProgram(const Program &program);
+
+/** True when verifyProgram() reports nothing. */
+bool isWellFormed(const Program &program);
+
+/** Human-readable listing (one line per instruction). */
+std::string disassemble(const Program &program, std::size_t max_lines = 64);
+
+} // namespace isa
+} // namespace ascend
+
+#endif // ASCEND_ISA_VERIFY_HH

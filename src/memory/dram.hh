@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bandwidth/latency model of an external memory device (HBM stack,
+ * LPDDR channel, or DDR). First-order: a transfer of B bytes costs
+ * latency + B / bandwidth, and the model tracks cumulative busy time
+ * so callers can reason about sustained utilization.
+ */
+
+#ifndef ASCEND_MEMORY_DRAM_HH
+#define ASCEND_MEMORY_DRAM_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace ascend {
+namespace memory {
+
+/** Static description of a memory device. */
+struct DramConfig
+{
+    std::string name = "hbm";
+    double bandwidthBytesPerSec = 1.2e12; ///< Ascend 910: 1.2 TB/s HBM
+    double latencySec = 120e-9;           ///< first-word latency
+};
+
+/** Accumulating service-time model. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig config) : config_(std::move(config)) {}
+
+    /** Service time in seconds for a @p bytes transfer. */
+    double
+    serviceTime(Bytes bytes) const
+    {
+        return config_.latencySec +
+               static_cast<double>(bytes) / config_.bandwidthBytesPerSec;
+    }
+
+    /** Time to stream @p bytes at full bandwidth (no latency term). */
+    double
+    streamTime(Bytes bytes) const
+    {
+        return static_cast<double>(bytes) / config_.bandwidthBytesPerSec;
+    }
+
+    /** Record an access (for utilization statistics). */
+    void
+    recordAccess(Bytes bytes)
+    {
+        totalBytes_ += bytes;
+        busyTime_ += serviceTime(bytes);
+    }
+
+    Bytes totalBytes() const { return totalBytes_; }
+    double busyTime() const { return busyTime_; }
+    const DramConfig &config() const { return config_; }
+
+    void
+    reset()
+    {
+        totalBytes_ = 0;
+        busyTime_ = 0;
+    }
+
+  private:
+    DramConfig config_;
+    Bytes totalBytes_ = 0;
+    double busyTime_ = 0;
+};
+
+/** Published memory devices used by the SoC models. */
+DramConfig hbm2Ascend910();   ///< 4 stacks, 1.2 TB/s total
+DramConfig lpddr4xMobile();   ///< Kirin-class LPDDR4X, 34 GB/s
+DramConfig ddrAutomotive();   ///< Ascend 610 class, 64 GB/s
+DramConfig ddrIot();          ///< Ascend-Tiny class, 8 GB/s
+
+} // namespace memory
+} // namespace ascend
+
+#endif // ASCEND_MEMORY_DRAM_HH

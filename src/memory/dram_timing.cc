@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bank-aware DRAM timing implementation.
+ */
+
+#include "memory/dram_timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace memory {
+
+DramTiming::DramTiming(DramTimingConfig config) : config_(config)
+{
+    simAssert(config_.banks > 0, "dram needs banks");
+    simAssert(config_.rowBytes > 0, "row size must be positive");
+    banks_.assign(config_.banks, Bank{});
+}
+
+DramAccessResult
+DramTiming::access(std::uint64_t addr, Bytes bytes, double now_ns)
+{
+    const std::uint64_t row_addr = addr / config_.rowBytes;
+    // Row-interleaved bank mapping: consecutive rows hit different
+    // banks, which is what gives streaming its bank parallelism.
+    const unsigned bank_idx =
+        static_cast<unsigned>(row_addr % config_.banks);
+    const std::uint64_t row = row_addr / config_.banks;
+    Bank &bank = banks_[bank_idx];
+
+    double column_ns = std::max(now_ns, bank.readyNs);
+    bool hit = bank.openRow == row;
+    if (!hit) {
+        // Precharge (if a row is open) + activate, respecting tRC.
+        double activate_ns = column_ns;
+        if (bank.openRow != ~0ull)
+            activate_ns += config_.tRpNs;
+        activate_ns = std::max(activate_ns,
+                               bank.lastActivateNs + config_.tRcNs);
+        bank.lastActivateNs = activate_ns;
+        bank.openRow = row;
+        column_ns = activate_ns + config_.tRcdNs;
+    }
+
+    // Data transfer occupies the shared bus.
+    const double data_start =
+        std::max(column_ns + config_.tCasNs, busFreeNs_);
+    const double complete =
+        data_start + double(bytes) * config_.busNsPerByte;
+    busFreeNs_ = complete;
+    bank.readyNs = column_ns + config_.tCasNs;
+
+    ++accesses_;
+    if (hit)
+        ++rowHits_;
+    DramAccessResult r;
+    r.completeNs = complete;
+    r.latencyNs = complete - now_ns;
+    r.rowHit = hit;
+    latencySumNs_ += r.latencyNs;
+    return r;
+}
+
+double
+DramTiming::rowHitRate() const
+{
+    return accesses_ ? double(rowHits_) / double(accesses_) : 0.0;
+}
+
+double
+DramTiming::avgLatencyNs() const
+{
+    return accesses_ ? latencySumNs_ / double(accesses_) : 0.0;
+}
+
+void
+DramTiming::reset()
+{
+    banks_.assign(config_.banks, Bank{});
+    busFreeNs_ = 0;
+    accesses_ = 0;
+    rowHits_ = 0;
+    latencySumNs_ = 0;
+}
+
+} // namespace memory
+} // namespace ascend

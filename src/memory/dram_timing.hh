@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bank-aware DRAM timing model.
+ *
+ * The flat bandwidth/latency model (dram.hh) is enough for SoC-level
+ * rooflines, but the automotive latency experiments (Section 3.3)
+ * care about *access* latency under contention, which depends on row
+ * hits and bank-level parallelism. This model tracks, per bank, the
+ * open row and the earliest next-activate time, and serves a request
+ * stream with classic tRCD / CAS / tRP / tRC constraints.
+ */
+
+#ifndef ASCEND_MEMORY_DRAM_TIMING_HH
+#define ASCEND_MEMORY_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ascend {
+namespace memory {
+
+/** Timing parameters in nanoseconds (device-clock agnostic). */
+struct DramTimingConfig
+{
+    unsigned banks = 16;
+    Bytes rowBytes = 2 * kKiB;
+    double tRcdNs = 14.0;  ///< activate -> column command
+    double tCasNs = 14.0;  ///< column command -> data
+    double tRpNs = 14.0;   ///< precharge
+    double tRcNs = 46.0;   ///< activate -> activate, same bank
+    double busNsPerByte = 0.016; ///< ~64 GB/s data bus
+};
+
+/** Outcome of one access. */
+struct DramAccessResult
+{
+    double completeNs = 0;
+    double latencyNs = 0;
+    bool rowHit = false;
+};
+
+/**
+ * The bank-state model. Requests are served in arrival order (a
+ * simple in-order controller; good enough for latency contrast
+ * experiments between streaming and random traffic).
+ */
+class DramTiming
+{
+  public:
+    explicit DramTiming(DramTimingConfig config = {});
+
+    /**
+     * Issue a @p bytes read at @p addr arriving at @p now_ns.
+     * @return completion time and latency.
+     */
+    DramAccessResult access(std::uint64_t addr, Bytes bytes,
+                            double now_ns);
+
+    double rowHitRate() const;
+    std::uint64_t accesses() const { return accesses_; }
+    double avgLatencyNs() const;
+    void reset();
+
+    const DramTimingConfig &config() const { return config_; }
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        double readyNs = 0;      ///< earliest next column command
+        double lastActivateNs = -1e18;
+    };
+
+    DramTimingConfig config_;
+    std::vector<Bank> banks_;
+    double busFreeNs_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t rowHits_ = 0;
+    double latencySumNs_ = 0;
+};
+
+} // namespace memory
+} // namespace ascend
+
+#endif // ASCEND_MEMORY_DRAM_TIMING_HH

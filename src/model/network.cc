@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Network metrics and backward expansion.
+ */
+
+#include "model/network.hh"
+
+#include <algorithm>
+
+namespace ascend {
+namespace model {
+
+Flops
+Network::totalFlops() const
+{
+    Flops total = 0;
+    for (const Layer &l : layers)
+        total += l.flops();
+    return total;
+}
+
+Bytes
+Network::totalWeightBytes() const
+{
+    Bytes total = 0;
+    for (const Layer &l : layers)
+        total += l.weightBytes();
+    return total;
+}
+
+Bytes
+Network::parameterBytes() const
+{
+    Bytes total = 0;
+    for (const Layer &l : layers) {
+        // BatchedMatmul second operands are per-sample activations
+        // (attention K/V), not parameters.
+        if (l.kind != LayerKind::BatchedMatmul)
+            total += l.weightBytes();
+    }
+    return total;
+}
+
+Bytes
+Network::maxActivationBytes() const
+{
+    Bytes mx = 0;
+    for (const Layer &l : layers)
+        mx = std::max(mx, std::max(l.inputBytes(), l.outputBytes()));
+    return mx;
+}
+
+const char *
+toString(OptimizerKind opt)
+{
+    switch (opt) {
+      case OptimizerKind::Sgd:      return "sgd";
+      case OptimizerKind::Momentum: return "momentum";
+      case OptimizerKind::Adam:     return "adam";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Vector passes the optimizer update needs per weight element. */
+double
+updatePasses(OptimizerKind opt)
+{
+    switch (opt) {
+      case OptimizerKind::Sgd:      return 1.0; // w -= lr * g
+      case OptimizerKind::Momentum: return 2.0; // v update + w update
+      case OptimizerKind::Adam:     return 4.0; // m, v, correction, w
+    }
+    return 1.0;
+}
+
+/** Emit the optimizer update over @p weight_elems weight elements. */
+model::Layer
+makeUpdate(const std::string &name, std::uint64_t weight_elems,
+           OptimizerKind opt)
+{
+    if (opt == OptimizerKind::Sgd)
+        return Layer::elementwise(name, weight_elems, DataType::Fp32);
+    Layer l = Layer::cvOp(name, weight_elems, updatePasses(opt),
+                          DataType::Fp32);
+    // Real operand streams: read gradient + weight + state tensors,
+    // write weight + state tensors (all fp32).
+    const unsigned states = optimizerStateTensors(opt);
+    l.inputBytesOverride = bytesOf(DataType::Fp32, weight_elems) *
+                           (2 + states);
+    l.outputBytesOverride = bytesOf(DataType::Fp32, weight_elems) *
+                            (1 + states);
+    return l;
+}
+
+} // anonymous namespace
+
+std::vector<Layer>
+backwardLayers(const Layer &fwd, OptimizerKind opt)
+{
+    std::vector<Layer> bwd;
+    switch (fwd.kind) {
+      case LayerKind::Conv2d:
+      case LayerKind::Linear:
+      case LayerKind::BatchedMatmul: {
+        std::uint64_t m, k, n;
+        fwd.lowerToGemm(m, k, n);
+        // dX = dY * W^T : (m x n) * (n x k)
+        Layer dx = Layer::batchedMatmul(fwd.name + ".dX", fwd.matmulCount,
+                                        m, n, k, fwd.dtype);
+        // dW = X^T * dY : (k x m) * (m x n)
+        Layer dw = Layer::batchedMatmul(fwd.name + ".dW", fwd.matmulCount,
+                                        k, m, n, fwd.dtype);
+        if (fwd.kind == LayerKind::Conv2d) {
+            // The im2col-domain operands collapse back to the raw
+            // activation tensor in memory (see Layer field docs).
+            dx.outputBytesOverride = fwd.inputBytes();
+            dw.inputBytesOverride = fwd.inputBytes();
+        }
+        bwd.push_back(dx);
+        bwd.push_back(dw);
+        // The optimizer update touches every weight element (plus its
+        // state tensors): vector work over k*n elements.
+        bwd.push_back(makeUpdate(fwd.name + ".update",
+                                 k * n * fwd.matmulCount, opt));
+        break;
+      }
+      case LayerKind::DepthwiseConv2d: {
+        // dX and dW are both depthwise-shaped stencils.
+        Layer dx = fwd;
+        dx.kind = LayerKind::DepthwiseConv2d;
+        dx.name = fwd.name + ".dX";
+        Layer dw = dx;
+        dw.name = fwd.name + ".dW";
+        bwd.push_back(dx);
+        bwd.push_back(dw);
+        bwd.push_back(makeUpdate(
+            fwd.name + ".update",
+            std::uint64_t(fwd.outC) * fwd.kernelH * fwd.kernelW, opt));
+        break;
+      }
+      case LayerKind::Pool2d: {
+        // Gradient scatter over the input volume.
+        bwd.push_back(Layer::elementwise(
+            fwd.name + ".dX",
+            std::uint64_t(fwd.batch) * fwd.inC * fwd.inH * fwd.inW,
+            fwd.dtype));
+        break;
+      }
+      case LayerKind::BatchNorm: {
+        // dX needs mean/var gradients: ~3 passes over the volume, plus
+        // the scale/shift parameter gradients.
+        Layer dx = Layer::batchNorm(fwd.name + ".dX", fwd.elems, fwd.dtype);
+        bwd.push_back(dx);
+        bwd.push_back(Layer::elementwise(fwd.name + ".dGamma", fwd.elems,
+                                         fwd.dtype));
+        break;
+      }
+      case LayerKind::LayerNorm: {
+        Layer dx = Layer::layerNorm(fwd.name + ".dX",
+                                    fwd.rowLen ? fwd.elems / fwd.rowLen : 1,
+                                    fwd.rowLen ? fwd.rowLen : fwd.elems,
+                                    fwd.dtype);
+        bwd.push_back(dx);
+        bwd.push_back(Layer::elementwise(fwd.name + ".dGamma", fwd.elems,
+                                         fwd.dtype));
+        break;
+      }
+      case LayerKind::Activation: {
+        bwd.push_back(Layer::elementwise(fwd.name + ".dX", fwd.elems,
+                                         fwd.dtype));
+        break;
+      }
+      case LayerKind::Softmax: {
+        // dX = (dY - rowdot(dY, Y)) * Y: one reduction + one scale.
+        Layer dx = Layer::softmax(fwd.name + ".dX",
+                                  fwd.rowLen ? fwd.elems / fwd.rowLen : 1,
+                                  fwd.rowLen ? fwd.rowLen : fwd.elems,
+                                  fwd.dtype);
+        bwd.push_back(dx);
+        break;
+      }
+      case LayerKind::Elementwise:
+      case LayerKind::CvOp: {
+        // Gradient fan-out copy (CV ops are typically not trained
+        // through; the copy models the pass-through cost).
+        bwd.push_back(Layer::elementwise(fwd.name + ".dX", fwd.elems,
+                                         fwd.dtype));
+        break;
+      }
+    }
+    return bwd;
+}
+
+std::vector<TrainingStep>
+trainingSteps(const Network &net, OptimizerKind opt)
+{
+    std::vector<TrainingStep> steps;
+    steps.reserve(net.layers.size());
+    for (const Layer &l : net.layers)
+        steps.push_back(TrainingStep{l, backwardLayers(l, opt)});
+    return steps;
+}
+
+} // namespace model
+} // namespace ascend

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Network container and training (backward) expansion.
+ */
+
+#ifndef ASCEND_MODEL_NETWORK_HH
+#define ASCEND_MODEL_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "model/layer.hh"
+
+namespace ascend {
+namespace model {
+
+/** An ordered sequence of layers. */
+struct Network
+{
+    std::string name;
+    std::vector<Layer> layers;
+
+    void add(Layer layer) { layers.push_back(std::move(layer)); }
+
+    Flops totalFlops() const;
+
+    /**
+     * Sum of every layer's second-operand volume. For attention
+     * matmuls this counts per-sample K/V operands, so it scales with
+     * batch; use parameterBytes() for true trainable parameters.
+     */
+    Bytes totalWeightBytes() const;
+
+    /** Trainable parameters only (gradient/allreduce volume). */
+    Bytes parameterBytes() const;
+    Bytes maxActivationBytes() const;
+    std::size_t size() const { return layers.size(); }
+};
+
+/**
+ * Optimizer choice for training expansion: each step up the ladder
+ * adds optimizer-state tensors and elementwise passes (momentum: one
+ * fp32 state; Adam: two states plus the bias-corrected update math).
+ */
+enum class OptimizerKind { Sgd, Momentum, Adam };
+
+const char *toString(OptimizerKind opt);
+
+/** fp32 optimizer-state tensors per weight tensor. */
+inline unsigned
+optimizerStateTensors(OptimizerKind opt)
+{
+    switch (opt) {
+      case OptimizerKind::Sgd:      return 0;
+      case OptimizerKind::Momentum: return 1;
+      case OptimizerKind::Adam:     return 2;
+    }
+    return 0;
+}
+
+/**
+ * Backward-pass layers for one forward layer.
+ *
+ * GEMM-like layers expand to the dX and dW GEMMs plus the elementwise
+ * weight update; normalization and activation layers expand to
+ * vector work of roughly twice the forward volume. This reproduces
+ * the paper's observation (Fig. 5) that training shifts work towards
+ * the vector unit.
+ */
+std::vector<Layer> backwardLayers(const Layer &fwd,
+                                  OptimizerKind opt = OptimizerKind::Sgd);
+
+/** Forward layer together with its backward expansion. */
+struct TrainingStep
+{
+    Layer fwd;
+    std::vector<Layer> bwd;
+};
+
+/** Training decomposition of a network, in forward layer order. */
+std::vector<TrainingStep>
+trainingSteps(const Network &net, OptimizerKind opt = OptimizerKind::Sgd);
+
+} // namespace model
+} // namespace ascend
+
+#endif // ASCEND_MODEL_NETWORK_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Tensor helpers.
+ */
+
+#include "model/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ascend {
+namespace model {
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    simAssert(numel() == other.numel(), "maxAbsDiff: size mismatch");
+    float mx = 0.0f;
+    for (std::size_t i = 0; i < numel(); ++i)
+        mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+    return mx;
+}
+
+} // namespace model
+} // namespace ascend

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense float tensor for the functional execution layer.
+ *
+ * Deliberately simple: row-major float storage with an NCHW-flavoured
+ * shape. Good enough to validate datapath semantics (img2col, GEMM,
+ * vector ops) against reference implementations; not a performance
+ * container.
+ */
+
+#ifndef ASCEND_MODEL_TENSOR_HH
+#define ASCEND_MODEL_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ascend {
+namespace model {
+
+/** Row-major dense tensor of floats. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(std::vector<std::size_t> shape)
+        : shape_(std::move(shape))
+    {
+        std::size_t n = 1;
+        for (std::size_t d : shape_) {
+            simAssert(d > 0, "tensor dims must be positive");
+            n *= d;
+        }
+        data_.assign(n, 0.0f);
+    }
+
+    static Tensor
+    random(std::vector<std::size_t> shape, Rng &rng, float scale = 1.0f)
+    {
+        Tensor t(std::move(shape));
+        for (float &v : t.data_)
+            v = (float(rng.uniformReal()) * 2.0f - 1.0f) * scale;
+        return t;
+    }
+
+    const std::vector<std::size_t> &shape() const { return shape_; }
+    std::size_t numel() const { return data_.size(); }
+
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** 2D accessor for (rows x cols) matrices. */
+    float &
+    at2(std::size_t r, std::size_t c)
+    {
+        return data_[r * shape_.back() + c];
+    }
+    float
+    at2(std::size_t r, std::size_t c) const
+    {
+        return data_[r * shape_.back() + c];
+    }
+
+    /** 4D NCHW accessor. */
+    float &
+    at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+    {
+        simAssert(shape_.size() == 4, "at4 needs a 4D tensor");
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] +
+                     w];
+    }
+    float
+    at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const
+    {
+        return const_cast<Tensor *>(this)->at4(n, c, h, w);
+    }
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    /** Max absolute elementwise difference to @p other. */
+    float maxAbsDiff(const Tensor &other) const;
+
+  private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace model
+} // namespace ascend
+
+#endif // ASCEND_MODEL_TENSOR_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shape-accurate builders for the networks the paper evaluates
+ * (Table 1, Figs. 4-9): ResNet50, MobileNetV2, BERT, VGG16 and the
+ * small always-on Gesture CNN run on Ascend-Tiny.
+ */
+
+#ifndef ASCEND_MODEL_ZOO_HH
+#define ASCEND_MODEL_ZOO_HH
+
+#include "model/network.hh"
+
+namespace ascend {
+namespace model {
+namespace zoo {
+
+/** ResNet50 v1.5 (224x224 input, 1000 classes). */
+Network resnet50(unsigned batch, DataType dt = DataType::Fp16);
+
+/** MobileNetV2 (224x224 input, width 1.0). */
+Network mobilenetV2(unsigned batch, DataType dt = DataType::Fp16);
+
+/** BERT encoder stack with explicit dimensions. */
+Network bert(const std::string &name, unsigned batch, unsigned seq_len,
+             unsigned hidden, unsigned layers, unsigned heads,
+             unsigned ffn, DataType dt = DataType::Fp16);
+
+/** BERT-Large (24 x 1024, 16 heads, 4096 FFN). */
+Network bertLarge(unsigned batch, unsigned seq_len = 384,
+                  DataType dt = DataType::Fp16);
+
+/** BERT-Base (12 x 768, 12 heads, 3072 FFN). */
+Network bertBase(unsigned batch, unsigned seq_len = 384,
+                 DataType dt = DataType::Fp16);
+
+/** Always-on gesture-inference CNN (96x96 RGB input, int8). */
+Network gestureNet(unsigned batch);
+
+/** VGG16 (224x224 input, 1000 classes). */
+Network vgg16(unsigned batch, DataType dt = DataType::Fp16);
+
+/**
+ * MaskRCNN-style detector (Table 1's smart-city workload): ResNet50
+ * backbone + FPN + RPN with NMS + RoiAlign + box and mask heads.
+ */
+Network maskRcnn(unsigned batch, DataType dt = DataType::Fp16);
+
+/** Wide & Deep recommendation model (Table 1's Ascend-Max workload). */
+Network wideDeep(unsigned batch, DataType dt = DataType::Fp16);
+
+/** Stacked LSTM language model (the related-work NLP workload). */
+Network lstm(unsigned batch, unsigned seq_len = 32,
+             unsigned input_dim = 512, unsigned hidden = 1024,
+             unsigned layers = 2, DataType dt = DataType::Fp16);
+
+/**
+ * Siamese tracking network (Table 1's intelligent-surveillance
+ * workload): shared-weight template/search branches, depthwise
+ * cross-correlation, and a box head.
+ */
+Network siameseTracker(unsigned batch, DataType dt = DataType::Fp16);
+
+/**
+ * PointNet-style point-cloud classifier (Table 1's "Pointsnet"
+ * series): per-point shared MLPs + max-pool aggregation.
+ */
+Network pointNet(unsigned batch, unsigned points = 1024,
+                 DataType dt = DataType::Fp16);
+
+/**
+ * SLAM front-end task mix for the automotive Vector Core
+ * (Section 3.3): stereo, feature sort/match, quaternion pose,
+ * clustering and linear programming as vector-unit operators.
+ */
+Network slamFrontend(unsigned points = 2048,
+                     DataType dt = DataType::Fp16);
+
+} // namespace zoo
+} // namespace model
+} // namespace ascend
+
+#endif // ASCEND_MODEL_ZOO_HH

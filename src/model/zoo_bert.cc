@@ -1,0 +1,77 @@
+/**
+ * @file
+ * BERT encoder builders (the Ascend-Max workload of Figs. 4, 5, 9).
+ */
+
+#include "model/zoo.hh"
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace model {
+namespace zoo {
+
+Network
+bert(const std::string &name, unsigned batch, unsigned seq_len,
+     unsigned hidden, unsigned layers, unsigned heads, unsigned ffn,
+     DataType dt)
+{
+    simAssert(batch > 0 && seq_len > 0 && hidden > 0, "bad BERT dims");
+    simAssert(hidden % heads == 0, "hidden must divide by heads");
+    const std::uint64_t tokens = std::uint64_t(batch) * seq_len;
+    const unsigned head_dim = hidden / heads;
+
+    Network net;
+    net.name = name;
+
+    // Embedding lookup is memory-bound gather work on the vector unit.
+    net.add(Layer::elementwise("embed", tokens * hidden, dt));
+    net.add(Layer::layerNorm("embed.ln", tokens, hidden, dt));
+
+    for (unsigned l = 0; l < layers; ++l) {
+        const std::string p = "enc" + std::to_string(l);
+        // Fused QKV projection.
+        net.add(Layer::linear(p + ".qkv", tokens, hidden,
+                              3ull * hidden, dt));
+        // Attention scores per head: (S x dh) * (dh x S).
+        net.add(Layer::batchedMatmul(p + ".scores",
+                                     std::uint64_t(batch) * heads,
+                                     seq_len, head_dim, seq_len, dt));
+        net.add(Layer::softmax(p + ".softmax",
+                               std::uint64_t(batch) * heads * seq_len,
+                               seq_len, dt));
+        // Context: (S x S) * (S x dh).
+        net.add(Layer::batchedMatmul(p + ".context",
+                                     std::uint64_t(batch) * heads,
+                                     seq_len, seq_len, head_dim, dt));
+        net.add(Layer::linear(p + ".proj", tokens, hidden, hidden, dt));
+        net.add(Layer::elementwise(p + ".add1", tokens * hidden, dt));
+        net.add(Layer::layerNorm(p + ".ln1", tokens, hidden, dt));
+
+        net.add(Layer::linear(p + ".ffn1", tokens, hidden, ffn, dt));
+        net.add(Layer::activation(p + ".gelu", tokens * ffn,
+                                  ActKind::Gelu, dt));
+        net.add(Layer::linear(p + ".ffn2", tokens, ffn, hidden, dt));
+        net.add(Layer::elementwise(p + ".add2", tokens * hidden, dt));
+        net.add(Layer::layerNorm(p + ".ln2", tokens, hidden, dt));
+    }
+
+    net.add(Layer::linear("pooler", batch, hidden, hidden, dt));
+    return net;
+}
+
+Network
+bertLarge(unsigned batch, unsigned seq_len, DataType dt)
+{
+    return bert("bert_large", batch, seq_len, 1024, 24, 16, 4096, dt);
+}
+
+Network
+bertBase(unsigned batch, unsigned seq_len, DataType dt)
+{
+    return bert("bert_base", batch, seq_len, 768, 12, 12, 3072, dt);
+}
+
+} // namespace zoo
+} // namespace model
+} // namespace ascend

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * MobileNetV2 and Gesture-CNN builders (the Lite / Tiny workloads).
+ */
+
+#include "model/zoo.hh"
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace model {
+namespace zoo {
+
+namespace {
+
+std::uint64_t
+volume(unsigned batch, unsigned c, unsigned sp)
+{
+    return std::uint64_t(batch) * c * sp * sp;
+}
+
+void
+addBnAct(Network &net, const std::string &name, std::uint64_t vol,
+         bool relu6, DataType dt)
+{
+    net.add(Layer::batchNorm(name + ".bn", vol, dt));
+    if (relu6)
+        net.add(Layer::activation(name + ".relu6", vol, ActKind::Relu6, dt));
+}
+
+/**
+ * One MobileNetV2 inverted-residual block.
+ *
+ * @param expand Expansion ratio t.
+ * @return output spatial dimension.
+ */
+unsigned
+invertedResidual(Network &net, const std::string &name, unsigned batch,
+                 unsigned in_c, unsigned out_c, unsigned spatial,
+                 unsigned stride, unsigned expand, DataType dt)
+{
+    const unsigned mid_c = in_c * expand;
+    unsigned sp = spatial;
+    if (expand != 1) {
+        net.add(Layer::conv2d(name + ".expand", batch, in_c, sp, sp,
+                              mid_c, 1, 1, 0, dt));
+        addBnAct(net, name + ".expand", volume(batch, mid_c, sp), true, dt);
+    }
+    Layer dw = Layer::depthwiseConv2d(name + ".dw", batch, mid_c, sp, sp,
+                                      3, stride, 1, dt);
+    sp = dw.outH();
+    net.add(dw);
+    addBnAct(net, name + ".dw", volume(batch, mid_c, sp), true, dt);
+
+    net.add(Layer::conv2d(name + ".project", batch, mid_c, sp, sp,
+                          out_c, 1, 1, 0, dt));
+    addBnAct(net, name + ".project", volume(batch, out_c, sp), false, dt);
+
+    if (stride == 1 && in_c == out_c)
+        net.add(Layer::elementwise(name + ".add",
+                                   volume(batch, out_c, sp), dt));
+    return sp;
+}
+
+} // anonymous namespace
+
+Network
+mobilenetV2(unsigned batch, DataType dt)
+{
+    simAssert(batch > 0, "batch must be positive");
+    Network net;
+    net.name = "mobilenet_v2";
+
+    Layer stem = Layer::conv2d("conv0", batch, 3, 224, 224, 32, 3, 2, 1, dt);
+    unsigned sp = stem.outH(); // 112
+    net.add(stem);
+    addBnAct(net, "conv0", volume(batch, 32, sp), true, dt);
+
+    struct BlockSpec { unsigned t, c, n, s; };
+    static const BlockSpec specs[] = {
+        {1, 16, 1, 1},
+        {6, 24, 2, 2},
+        {6, 32, 3, 2},
+        {6, 64, 4, 2},
+        {6, 96, 3, 1},
+        {6, 160, 3, 2},
+        {6, 320, 1, 1},
+    };
+    unsigned in_c = 32;
+    int bi = 1;
+    for (const BlockSpec &spec : specs) {
+        for (unsigned i = 0; i < spec.n; ++i) {
+            const std::string name = "block" + std::to_string(bi++);
+            const unsigned stride = (i == 0) ? spec.s : 1;
+            sp = invertedResidual(net, name, batch, in_c, spec.c, sp,
+                                  stride, spec.t, dt);
+            in_c = spec.c;
+        }
+    }
+
+    net.add(Layer::conv2d("conv_last", batch, in_c, sp, sp, 1280,
+                          1, 1, 0, dt));
+    addBnAct(net, "conv_last", volume(batch, 1280, sp), true, dt);
+    net.add(Layer::pool2d("avgpool", batch, 1280, sp, sp, sp, sp, dt));
+    net.add(Layer::linear("fc", batch, 1280, 1000, dt));
+    return net;
+}
+
+Network
+gestureNet(unsigned batch)
+{
+    simAssert(batch > 0, "batch must be positive");
+    const DataType dt = DataType::Int8; // Ascend-Tiny is int8-only
+    Network net;
+    net.name = "gesture_net";
+
+    struct ConvSpec { unsigned out_c, kernel, stride; };
+    static const ConvSpec specs[] = {
+        {8, 5, 2}, {16, 3, 1}, {32, 3, 2}, {64, 3, 2}, {64, 3, 2},
+    };
+    unsigned sp = 96;
+    unsigned in_c = 3; // RGB input
+    int ci = 1;
+    for (const ConvSpec &spec : specs) {
+        const std::string name = "conv" + std::to_string(ci++);
+        Layer conv = Layer::conv2d(name, batch, in_c, sp, sp, spec.out_c,
+                                   spec.kernel, spec.stride,
+                                   spec.kernel / 2, dt);
+        sp = conv.outH();
+        net.add(conv);
+        addBnAct(net, name, volume(batch, spec.out_c, sp), true, dt);
+        in_c = spec.out_c;
+    }
+
+    net.add(Layer::pool2d("avgpool", batch, in_c, sp, sp, sp, sp, dt));
+    net.add(Layer::linear("fc", batch, in_c, 8, dt));
+    return net;
+}
+
+} // namespace zoo
+} // namespace model
+} // namespace ascend

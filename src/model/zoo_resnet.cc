@@ -1,0 +1,140 @@
+/**
+ * @file
+ * ResNet50 v1.5 and VGG16 builders.
+ */
+
+#include "model/zoo.hh"
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace model {
+namespace zoo {
+
+namespace {
+
+/** Append conv + batchnorm (+ optional ReLU) to @p net. */
+unsigned
+convBnRelu(Network &net, const std::string &name, unsigned batch,
+           unsigned in_c, unsigned spatial, unsigned out_c, unsigned kernel,
+           unsigned stride, unsigned pad, bool relu, DataType dt)
+{
+    Layer conv = Layer::conv2d(name, batch, in_c, spatial, spatial, out_c,
+                               kernel, stride, pad, dt);
+    const unsigned out_sp = conv.outH();
+    const std::uint64_t vol =
+        std::uint64_t(batch) * out_c * out_sp * out_sp;
+    net.add(conv);
+    net.add(Layer::batchNorm(name + ".bn", vol, dt));
+    if (relu)
+        net.add(Layer::activation(name + ".relu", vol, ActKind::Relu, dt));
+    return out_sp;
+}
+
+/** Append one ResNet bottleneck block. Returns the output spatial dim. */
+unsigned
+bottleneck(Network &net, const std::string &name, unsigned batch,
+           unsigned in_c, unsigned mid_c, unsigned out_c, unsigned spatial,
+           unsigned stride, DataType dt)
+{
+    convBnRelu(net, name + ".conv1", batch, in_c, spatial, mid_c,
+               1, 1, 0, true, dt);
+    // ResNet v1.5 strides in the 3x3 convolution.
+    const unsigned sp2 = convBnRelu(net, name + ".conv2", batch, mid_c,
+                                    spatial, mid_c, 3, stride, 1, true, dt);
+    convBnRelu(net, name + ".conv3", batch, mid_c, sp2, out_c,
+               1, 1, 0, false, dt);
+    if (stride != 1 || in_c != out_c)
+        convBnRelu(net, name + ".down", batch, in_c, spatial, out_c,
+                   1, stride, 0, false, dt);
+    const std::uint64_t vol = std::uint64_t(batch) * out_c * sp2 * sp2;
+    net.add(Layer::elementwise(name + ".add", vol, dt));
+    net.add(Layer::activation(name + ".relu", vol, ActKind::Relu, dt));
+    return sp2;
+}
+
+} // anonymous namespace
+
+Network
+resnet50(unsigned batch, DataType dt)
+{
+    simAssert(batch > 0, "batch must be positive");
+    Network net;
+    net.name = "resnet50";
+
+    unsigned sp = convBnRelu(net, "conv1", batch, 3, 224, 64,
+                             7, 2, 3, true, dt); // 112
+    Layer pool = Layer::pool2d("maxpool", batch, 64, sp, sp, 3, 2, dt);
+    pool.padH = pool.padW = 1;
+    sp = pool.outH(); // 56
+    net.add(pool);
+
+    struct StageSpec { unsigned blocks, mid, out, stride; };
+    static const StageSpec stages[] = {
+        {3, 64, 256, 1},
+        {4, 128, 512, 2},
+        {6, 256, 1024, 2},
+        {3, 512, 2048, 2},
+    };
+    unsigned in_c = 64;
+    int stage_idx = 2;
+    for (const StageSpec &s : stages) {
+        for (unsigned b = 0; b < s.blocks; ++b) {
+            const std::string name =
+                "res" + std::to_string(stage_idx) + "." + std::to_string(b);
+            const unsigned stride = (b == 0) ? s.stride : 1;
+            sp = bottleneck(net, name, batch, in_c, s.mid, s.out, sp,
+                            stride, dt);
+            in_c = s.out;
+        }
+        ++stage_idx;
+    }
+
+    net.add(Layer::pool2d("avgpool", batch, in_c, sp, sp, sp, sp, dt));
+    net.add(Layer::linear("fc", batch, in_c, 1000, dt));
+    return net;
+}
+
+Network
+vgg16(unsigned batch, DataType dt)
+{
+    simAssert(batch > 0, "batch must be positive");
+    Network net;
+    net.name = "vgg16";
+
+    struct Group { unsigned convs, channels; };
+    static const Group groups[] = {
+        {2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+    };
+    unsigned sp = 224;
+    unsigned in_c = 3;
+    int gi = 1;
+    for (const Group &g : groups) {
+        for (unsigned c = 0; c < g.convs; ++c) {
+            const std::string name = "conv" + std::to_string(gi) + "_" +
+                                     std::to_string(c + 1);
+            sp = convBnRelu(net, name, batch, in_c, sp, g.channels,
+                            3, 1, 1, true, dt);
+            in_c = g.channels;
+        }
+        Layer pool = Layer::pool2d("pool" + std::to_string(gi), batch,
+                                   in_c, sp, sp, 2, 2, dt);
+        sp = pool.outH();
+        net.add(pool);
+        ++gi;
+    }
+
+    const std::uint64_t flat = std::uint64_t(in_c) * sp * sp;
+    net.add(Layer::linear("fc6", batch, flat, 4096, dt));
+    net.add(Layer::activation("fc6.relu", std::uint64_t(batch) * 4096,
+                              ActKind::Relu, dt));
+    net.add(Layer::linear("fc7", batch, 4096, 4096, dt));
+    net.add(Layer::activation("fc7.relu", std::uint64_t(batch) * 4096,
+                              ActKind::Relu, dt));
+    net.add(Layer::linear("fc8", batch, 4096, 1000, dt));
+    return net;
+}
+
+} // namespace zoo
+} // namespace model
+} // namespace ascend

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Flit-level 2D mesh network-on-chip simulator.
+ *
+ * Models the Ascend 910 compute-die interconnect (Section 3.1.1): a
+ * 4 x 6 2D mesh whose links carry 1024 bits per cycle at 2 GHz
+ * (256 GB/s per link), in a bufferless style to cut area. Two router
+ * modes are provided:
+ *
+ *  - Buffered: classic input-queued XY dimension-order routing with
+ *    round-robin (optionally priority-aware) output arbitration.
+ *  - Bufferless: deflection routing — every flit that arrives at a
+ *    router must leave on some output the same cycle; losers of the
+ *    productive-port arbitration are deflected. This is the mode the
+ *    paper says the real chip uses to save router area.
+ *
+ * Flits are routed independently (packet reassembly is accounted, not
+ * enforced), which is the standard simplification for deflection
+ * networks. QoS is a two-level priority: high-priority flits win
+ * arbitration; the global scheduling policy the paper mentions is
+ * modelled by per-node weighted injection.
+ */
+
+#ifndef ASCEND_NOC_MESH_HH
+#define ASCEND_NOC_MESH_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ascend {
+namespace noc {
+
+/** Router/topology configuration. */
+struct MeshConfig
+{
+    unsigned rows = 6;
+    unsigned cols = 4;
+    Bytes flitBytes = 128;   ///< 1024-bit links
+    double clockGhz = 2.0;
+    bool bufferless = true;  ///< deflection routing (the 910 design)
+    unsigned injectQueueCap = 64; ///< per-node injection queue bound
+};
+
+/** One flit in flight. */
+struct Flit
+{
+    std::uint16_t dst = 0;
+    std::uint8_t priority = 0; ///< higher wins arbitration
+    std::uint32_t injectCycle = 0;
+};
+
+/** Aggregate simulation results. */
+struct MeshStats
+{
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t injectionStalls = 0; ///< flits refused (queue full)
+    double avgLatencyCycles = 0;
+    double avgHopCount = 0;
+    double maxLinkUtilization = 0;
+    std::uint64_t cycles = 0;
+
+    /** Delivered bytes per cycle across the whole fabric. */
+    double
+    throughputBytesPerCycle(Bytes flit_bytes) const
+    {
+        return cycles ? double(delivered) * flit_bytes / cycles : 0;
+    }
+
+    /** Aggregate delivered bandwidth in bytes/second. */
+    double
+    bandwidthBytesPerSec(const MeshConfig &cfg) const
+    {
+        return throughputBytesPerCycle(cfg.flitBytes) * cfg.clockGhz * 1e9;
+    }
+};
+
+/**
+ * A traffic source: asked once per node per cycle whether to inject
+ * and where to. Return false for "no flit this cycle".
+ */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /**
+     * @param node Source node id.
+     * @param rng Generator to use (deterministic per-sim).
+     * @param[out] dst Destination node.
+     * @param[out] priority QoS class.
+     * @return true to inject one flit from @p node this cycle.
+     */
+    virtual bool next(unsigned node, Rng &rng, unsigned &dst,
+                      std::uint8_t &priority) = 0;
+};
+
+/** Uniform-random traffic at a given injection rate (flits/node/cycle). */
+class UniformTraffic : public TrafficPattern
+{
+  public:
+    UniformTraffic(double rate, unsigned nodes)
+        : rate_(rate), nodes_(nodes)
+    {}
+    bool next(unsigned node, Rng &rng, unsigned &dst,
+              std::uint8_t &priority) override;
+
+  private:
+    double rate_;
+    unsigned nodes_;
+};
+
+/**
+ * Hotspot traffic: every node sends to one of a small set of hotspot
+ * nodes (the LLC slices) with the given rate. Models the core-to-LLC
+ * pattern of the training SoC.
+ */
+class HotspotTraffic : public TrafficPattern
+{
+  public:
+    HotspotTraffic(double rate, std::vector<unsigned> hotspots)
+        : rate_(rate), hotspots_(std::move(hotspots))
+    {}
+    bool next(unsigned node, Rng &rng, unsigned &dst,
+              std::uint8_t &priority) override;
+
+  private:
+    double rate_;
+    std::vector<unsigned> hotspots_;
+};
+
+/**
+ * Floorplanned core-to-LLC traffic: each node sends to its *nearest*
+ * LLC slice (the real chip co-locates slices with core clusters, so
+ * most requests travel one or two hops). This is the pattern under
+ * which the mesh reaches its published aggregate L2 bandwidth.
+ */
+class NearestSliceTraffic : public TrafficPattern
+{
+  public:
+    NearestSliceTraffic(double rate, std::vector<unsigned> slices,
+                        unsigned cols)
+        : rate_(rate), slices_(std::move(slices)), cols_(cols)
+    {}
+    bool next(unsigned node, Rng &rng, unsigned &dst,
+              std::uint8_t &priority) override;
+
+  private:
+    double rate_;
+    std::vector<unsigned> slices_;
+    unsigned cols_;
+};
+
+/**
+ * Mixed-priority traffic: a fraction of nodes inject high-priority
+ * latency-critical flits, the rest bulk flits (QoS experiment).
+ */
+class MixedPriorityTraffic : public TrafficPattern
+{
+  public:
+    MixedPriorityTraffic(double bulk_rate, double critical_rate,
+                         unsigned critical_nodes, unsigned nodes)
+        : bulkRate_(bulk_rate), criticalRate_(critical_rate),
+          criticalNodes_(critical_nodes), nodes_(nodes)
+    {}
+    bool next(unsigned node, Rng &rng, unsigned &dst,
+              std::uint8_t &priority) override;
+
+  private:
+    double bulkRate_;
+    double criticalRate_;
+    unsigned criticalNodes_;
+    unsigned nodes_;
+};
+
+/**
+ * The mesh simulator.
+ */
+class MeshNoc
+{
+  public:
+    explicit MeshNoc(MeshConfig config);
+
+    /** Run @p cycles of simulation with @p traffic. */
+    MeshStats run(TrafficPattern &traffic, std::uint64_t cycles,
+                  std::uint64_t seed = 1);
+
+    /** Average delivered latency per priority class from the last run. */
+    double avgLatency(std::uint8_t priority) const;
+
+    /** Latency percentile per priority class from the last run. */
+    double latencyPercentile(std::uint8_t priority, double q) const;
+
+    unsigned nodes() const { return config_.rows * config_.cols; }
+    const MeshConfig &config() const { return config_; }
+
+    /** Peak bandwidth of one link in bytes/second. */
+    double
+    linkBandwidthBytesPerSec() const
+    {
+        return double(config_.flitBytes) * config_.clockGhz * 1e9;
+    }
+
+  private:
+    static constexpr unsigned kPorts = 5; // N, E, S, W, Local
+
+    unsigned nodeOf(unsigned row, unsigned col) const
+    {
+        return row * config_.cols + col;
+    }
+
+    MeshConfig config_;
+    // Per-priority latency accounting for the last run.
+    std::array<double, 2> latencySum_{};
+    std::array<std::uint64_t, 2> latencyCount_{};
+    std::array<stats::Histogram, 2> latencyHist_{
+        stats::Histogram(2048.0, 1024), stats::Histogram(2048.0, 1024)};
+};
+
+} // namespace noc
+} // namespace ascend
+
+#endif // ASCEND_NOC_MESH_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic model of the separated safety ring NoC used by the
+ * automotive SoC (Section 3.3): CPU-domain traffic rides a private
+ * bidirectional ring (ASIL-D isolation) so AI bulk traffic can never
+ * interfere with it.
+ */
+
+#ifndef ASCEND_NOC_RING_HH
+#define ASCEND_NOC_RING_HH
+
+#include "common/types.hh"
+
+namespace ascend {
+namespace noc {
+
+/** Bidirectional ring parameters. */
+struct RingConfig
+{
+    unsigned nodes = 8;
+    Bytes flitBytes = 64;
+    double clockGhz = 1.0;
+    double hopLatencyCycles = 2.0;
+};
+
+/** Closed-form latency/throughput model of a bidirectional ring. */
+class RingModel
+{
+  public:
+    explicit RingModel(RingConfig config) : config_(config) {}
+
+    /** Average hop count with shortest-direction routing. */
+    double
+    avgHops() const
+    {
+        return config_.nodes / 4.0;
+    }
+
+    /** Unloaded latency of an average transfer, cycles. */
+    double
+    unloadedLatencyCycles() const
+    {
+        return avgHops() * config_.hopLatencyCycles;
+    }
+
+    /**
+     * Saturation injection bandwidth per node: with bidirectional
+     * links each of the 2N link directions carries flitBytes/cycle
+     * and the average flit occupies avgHops() of them.
+     */
+    double
+    saturationBytesPerSecPerNode() const
+    {
+        const double links = 2.0 * config_.nodes;
+        const double per_cycle =
+            links * config_.flitBytes / avgHops() / config_.nodes;
+        return per_cycle * config_.clockGhz * 1e9;
+    }
+
+    /**
+     * M/D/1-style loaded latency at utilization @p rho in [0, 1).
+     */
+    double
+    loadedLatencyCycles(double rho) const
+    {
+        if (rho >= 1.0)
+            return 1e18; // saturated
+        return unloadedLatencyCycles() * (1.0 + rho / (2.0 * (1.0 - rho)));
+    }
+
+    const RingConfig &config() const { return config_; }
+
+  private:
+    RingConfig config_;
+};
+
+} // namespace noc
+} // namespace ascend
+
+#endif // ASCEND_NOC_RING_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Automotive SoC implementation.
+ */
+
+#include "soc/auto_soc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace soc {
+
+namespace {
+
+compiler::CompileOptions
+vectorCoreOptions()
+{
+    compiler::CompileOptions options;
+    options.mapGemmToVector = true;
+    return options;
+}
+
+} // anonymous namespace
+
+AutoSoc::AutoSoc(AutoSocConfig config)
+    : config_(std::move(config)),
+      core_(arch::makeCoreConfig(config_.coreVersion)),
+      profiler_(core_),
+      vectorCoreProfiler_(core_, vectorCoreOptions())
+{
+    simAssert(config_.aiCores > 0, "auto SoC needs AI cores");
+}
+
+double
+AutoSoc::slamLatencySeconds(const model::Network &net) const
+{
+    const core::SimResult r = vectorCoreProfiler_.inferenceResult(net);
+    const double mem_sec =
+        double(r.extBytes()) / config_.dram.bandwidthBytesPerSec;
+    return std::max(r.seconds(core_.clockGhz), mem_sec);
+}
+
+double
+AutoSoc::peakOpsInt8() const
+{
+    return double(config_.aiCores) *
+           double(core_.cubeShapeFor(DataType::Int8).flopsPerCycle()) *
+           core_.clockGhz * 1e9;
+}
+
+double
+AutoSoc::peakOpsInt4() const
+{
+    return double(config_.aiCores) *
+           double(core_.cubeShapeFor(DataType::Int4).flopsPerCycle()) *
+           core_.clockGhz * 1e9;
+}
+
+double
+AutoSoc::frameLatencySeconds(
+    const std::vector<const model::Network *> &nets) const
+{
+    // One perception network per core, all started after the DVPP
+    // finishes the frame; the frame completes when the slowest model
+    // does. Off-chip traffic shares the automotive DRAM.
+    double worst_compute = 0;
+    Bytes total_ext = 0;
+    for (const model::Network *net : nets) {
+        const core::SimResult r = profiler_.inferenceResult(*net);
+        worst_compute = std::max(worst_compute, r.seconds(core_.clockGhz));
+        total_ext += r.extBytes();
+    }
+    const double mem_sec =
+        double(total_ext) / config_.dram.bandwidthBytesPerSec;
+    return config_.dvppFrameSeconds + std::max(worst_compute, mem_sec);
+}
+
+QosResult
+AutoSoc::qosExperiment(unsigned mpam_ways, Bytes critical_working_set,
+                       Bytes bulk_stream, unsigned rounds) const
+{
+    memory::LlcConfig cfg;
+    cfg.capacity = config_.llcCapacity;
+    cfg.ways = 16;
+    cfg.lineBytes = 256; // finer lines: latency experiment, short trace
+    cfg.partitions = 2;
+    memory::Llc llc(cfg);
+
+    constexpr unsigned kCritical = 0;
+    constexpr unsigned kBulk = 1;
+    if (mpam_ways > 0) {
+        if (mpam_ways >= cfg.ways)
+            fatal("qosExperiment: mpam_ways must leave bulk some ways");
+        llc.setPartitionRange(kCritical, 0, mpam_ways);
+        llc.setPartitionRange(kBulk, mpam_ways, cfg.ways - mpam_ways);
+    }
+
+    const std::uint64_t critical_base = 0;
+    const std::uint64_t bulk_base = 1ull << 40;
+    const std::uint64_t critical_lines =
+        ceilDiv(critical_working_set, cfg.lineBytes);
+    const std::uint64_t bulk_lines = ceilDiv(bulk_stream, cfg.lineBytes);
+
+    // Interleave: each round, the critical task re-touches its hot
+    // set while the bulk stream pollutes the cache. The interleaving
+    // is line-by-line proportional so pollution lands between
+    // critical touches (worst case for an unpartitioned cache).
+    const std::uint64_t bulk_per_critical =
+        std::max<std::uint64_t>(1, bulk_lines / critical_lines);
+    for (unsigned r = 0; r < rounds; ++r) {
+        std::uint64_t bulk_pos = 0;
+        for (std::uint64_t i = 0; i < critical_lines; ++i) {
+            llc.access(critical_base + i * cfg.lineBytes, kCritical);
+            for (std::uint64_t b = 0; b < bulk_per_critical; ++b) {
+                const std::uint64_t line =
+                    (std::uint64_t(r) * bulk_lines + bulk_pos++) %
+                    (4 * bulk_lines);
+                llc.access(bulk_base + line * cfg.lineBytes, kBulk);
+            }
+        }
+    }
+
+    const auto &crit = llc.partStats(kCritical);
+    const auto &bulk = llc.partStats(kBulk);
+    QosResult result;
+    result.criticalHitRate = crit.hitRate();
+    result.bulkHitRate = bulk.hitRate();
+    const double llc_ns = 30.0;
+    const double dram_ns = config_.dram.latencySec * 1e9;
+    result.criticalAvgLatencyNs =
+        crit.hitRate() * llc_ns + (1.0 - crit.hitRate()) * dram_ns;
+    return result;
+}
+
+} // namespace soc
+} // namespace ascend

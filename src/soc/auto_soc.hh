@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ascend 610 autonomous-driving SoC model (Section 3.3).
+ *
+ * Ten Ascend cores with int8/int4 support, a DVPP pre-processing
+ * ASIC, a private safety ring for the CPU domain, and MPAM + QoS
+ * protection for latency-critical inference. Reproduces Table 9's
+ * derived rows and the MPAM/QoS latency experiment.
+ */
+
+#ifndef ASCEND_SOC_AUTO_SOC_HH
+#define ASCEND_SOC_AUTO_SOC_HH
+
+#include "compiler/profiler.hh"
+#include "memory/llc.hh"
+#include "soc/soc_config.hh"
+
+namespace ascend {
+namespace soc {
+
+/** Outcome of the MPAM/QoS protection experiment. */
+struct QosResult
+{
+    double criticalHitRate = 0;       ///< LLC hit rate of critical task
+    double criticalAvgLatencyNs = 0;  ///< avg memory latency it observes
+    double bulkHitRate = 0;
+};
+
+/**
+ * The automotive SoC model.
+ */
+class AutoSoc
+{
+  public:
+    explicit AutoSoc(AutoSocConfig config = {});
+
+    /** Peak int8 throughput across the AI cores. */
+    double peakOpsInt8() const;
+
+    /** Peak int4 throughput (Section 3.3: low-precision inference). */
+    double peakOpsInt4() const;
+
+    /**
+     * End-to-end frame latency: DVPP pre-processing followed by the
+     * given perception networks running concurrently, one per core
+     * (the paper's multi-model comprehensive-decision setup).
+     */
+    double frameLatencySeconds(
+        const std::vector<const model::Network *> &nets) const;
+
+    /**
+     * SLAM front-end latency on one cube-less Vector Core
+     * (Section 3.3): sorting, stereo, quaternion math and clustering
+     * run through the vector unit's micro-architecture extensions.
+     */
+    double slamLatencySeconds(const model::Network &net) const;
+
+    /**
+     * The MPAM experiment: a latency-critical task with a small hot
+     * working set shares the LLC with bulk streaming traffic.
+     *
+     * @param mpam_ways Ways reserved for the critical partition
+     *        (0 = MPAM off, fully shared cache).
+     */
+    QosResult qosExperiment(unsigned mpam_ways,
+                            Bytes critical_working_set = 4 * kMiB,
+                            Bytes bulk_stream = 256 * kMiB,
+                            unsigned rounds = 24) const;
+
+    const AutoSocConfig &config() const { return config_; }
+    const arch::CoreConfig &coreConfig() const { return core_; }
+
+  private:
+    AutoSocConfig config_;
+    arch::CoreConfig core_;
+    compiler::Profiler profiler_;
+    compiler::Profiler vectorCoreProfiler_;
+};
+
+} // namespace soc
+} // namespace ascend
+
+#endif // ASCEND_SOC_AUTO_SOC_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fluid chip simulation implementation.
+ */
+
+#include "soc/chip_sim.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace soc {
+
+ChipSimResult
+runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
+           double mem_bytes_per_sec)
+{
+    simAssert(mem_bytes_per_sec > 0, "memory capacity must be positive");
+    const std::size_t cores = per_core.size();
+
+    struct CoreState
+    {
+        std::size_t next = 0;
+        double computeLeft = 0;
+        double bytesLeft = 0;
+        bool active = false;
+        double finish = 0;
+    };
+    std::vector<CoreState> state(cores);
+
+    auto load_next = [&](std::size_t c, double now) {
+        CoreState &cs = state[c];
+        while (cs.next < per_core[c].size()) {
+            const CoreTask &t = per_core[c][cs.next];
+            cs.computeLeft = t.computeSeconds;
+            cs.bytesLeft = double(t.memBytes);
+            if (cs.computeLeft > 0 || cs.bytesLeft > 0) {
+                cs.active = true;
+                return;
+            }
+            ++cs.next; // zero task: completes instantly
+        }
+        cs.active = false;
+        cs.finish = now;
+    };
+
+    double now = 0;
+    double bytes_moved = 0;
+    for (std::size_t c = 0; c < cores; ++c)
+        load_next(c, now);
+
+    int guard = 0;
+    const int guard_limit = 4 * 1000 * 1000;
+    while (true) {
+        // Count memory-active tasks for the max-min share.
+        unsigned mem_active = 0;
+        bool any_active = false;
+        for (const CoreState &cs : state) {
+            if (!cs.active)
+                continue;
+            any_active = true;
+            if (cs.bytesLeft > 0)
+                ++mem_active;
+        }
+        if (!any_active)
+            break;
+        const double rate =
+            mem_active ? mem_bytes_per_sec / mem_active : 0;
+
+        // Time to the next completion event.
+        double dt = std::numeric_limits<double>::infinity();
+        for (const CoreState &cs : state) {
+            if (!cs.active)
+                continue;
+            double task_dt = 0;
+            if (cs.bytesLeft > 0 && cs.computeLeft > 0)
+                task_dt = std::min(cs.computeLeft, cs.bytesLeft / rate);
+            else if (cs.bytesLeft > 0)
+                task_dt = cs.bytesLeft / rate;
+            else
+                task_dt = cs.computeLeft;
+            dt = std::min(dt, task_dt);
+        }
+        simAssert(dt >= 0 && dt < std::numeric_limits<double>::infinity(),
+                  "chip sim event time must be finite");
+        dt = std::max(dt, 1e-15); // numerical floor
+
+        now += dt;
+        for (std::size_t c = 0; c < cores; ++c) {
+            CoreState &cs = state[c];
+            if (!cs.active)
+                continue;
+            if (cs.computeLeft > 0)
+                cs.computeLeft = std::max(0.0, cs.computeLeft - dt);
+            if (cs.bytesLeft > 0) {
+                const double moved = std::min(cs.bytesLeft, rate * dt);
+                cs.bytesLeft -= moved;
+                bytes_moved += moved;
+            }
+            if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
+                ++cs.next;
+                load_next(c, now);
+            }
+        }
+        if (++guard > guard_limit)
+            panic("runChipSim: event-count guard tripped");
+    }
+
+    ChipSimResult result;
+    result.makespan = now;
+    result.coreFinish.reserve(cores);
+    for (const CoreState &cs : state)
+        result.coreFinish.push_back(cs.finish);
+    result.avgMemUtilization =
+        now > 0 ? bytes_moved / (mem_bytes_per_sec * now) : 0.0;
+    return result;
+}
+
+} // namespace soc
+} // namespace ascend

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fluid multi-core chip simulator.
+ *
+ * The TrainingSoc roofline assumes all cores run in lockstep; this
+ * model relaxes that: each core executes its own task sequence
+ * (compute seconds + off-core bytes per task), and the shared memory
+ * system is a capacity that active tasks share max-min fairly. The
+ * simulation advances event-by-event (piecewise-constant rates), so
+ * stragglers, skewed partitions, and bandwidth contention between
+ * unequal tasks are captured.
+ *
+ * Used to study block-level parallel execution (Section 5.2) on the
+ * 910: how uneven layer splits and memory interference stretch the
+ * lockstep estimate.
+ */
+
+#ifndef ASCEND_SOC_CHIP_SIM_HH
+#define ASCEND_SOC_CHIP_SIM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ascend {
+namespace soc {
+
+/** One unit of core work. */
+struct CoreTask
+{
+    double computeSeconds = 0; ///< pure compute time (no contention)
+    Bytes memBytes = 0;        ///< off-core traffic it must move
+};
+
+/** Result of a fluid simulation. */
+struct ChipSimResult
+{
+    double makespan = 0;
+    std::vector<double> coreFinish; ///< per-core completion time
+    double avgMemUtilization = 0;   ///< shared-capacity usage over time
+};
+
+/**
+ * Simulate @p per_core task queues over a shared memory system of
+ * @p mem_bytes_per_sec. Within one task, compute and its memory
+ * traffic overlap (double buffering): the task finishes when both
+ * its compute time has elapsed and its bytes have drained at the
+ * granted rate.
+ */
+ChipSimResult runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
+                         double mem_bytes_per_sec);
+
+} // namespace soc
+} // namespace ascend
+
+#endif // ASCEND_SOC_CHIP_SIM_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dynamic voltage and frequency scaling for the mobile NPU
+ * (Section 3.2): "the working voltage can change dynamically
+ * according to real-time workload intensity."
+ *
+ * Classic CMOS scaling: dynamic power ~ C V^2 f, and the minimum
+ * stable voltage grows roughly linearly with frequency above a floor.
+ * The governor picks the lowest-energy operating point that still
+ * meets a latency deadline.
+ */
+
+#ifndef ASCEND_SOC_DVFS_HH
+#define ASCEND_SOC_DVFS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace soc {
+
+/** One DVFS operating point. */
+struct OperatingPoint
+{
+    std::string name;
+    double freqGhz;
+    double voltage;
+
+    /** Dynamic power relative to the nominal point. */
+    double
+    relativePower(const OperatingPoint &nominal) const
+    {
+        const double v = voltage / nominal.voltage;
+        const double f = freqGhz / nominal.freqGhz;
+        return v * v * f;
+    }
+};
+
+/** A DVFS table plus governor helpers. */
+class DvfsTable
+{
+  public:
+    /** The Kirin-class NPU ladder (nominal = "standard" mode). */
+    static DvfsTable
+    mobileNpu()
+    {
+        return DvfsTable({
+            {"low", 0.30, 0.55},
+            {"mid", 0.50, 0.65},
+            {"standard", 0.75, 0.80},
+            {"boost", 0.96, 0.95},
+        }, /*nominal_index=*/2);
+    }
+
+    DvfsTable(std::vector<OperatingPoint> points,
+              std::size_t nominal_index)
+        : points_(std::move(points)), nominal_(nominal_index)
+    {
+        simAssert(!points_.empty(), "DVFS table must not be empty");
+        simAssert(nominal_ < points_.size(), "bad nominal index");
+        for (std::size_t i = 1; i < points_.size(); ++i)
+            simAssert(points_[i].freqGhz > points_[i - 1].freqGhz,
+                      "DVFS points must be sorted by frequency");
+    }
+
+    const OperatingPoint &nominal() const { return points_[nominal_]; }
+    const std::vector<OperatingPoint> &points() const { return points_; }
+
+    /** Latency of a workload that takes @p nominal_seconds nominally. */
+    double
+    latencyAt(const OperatingPoint &opp, double nominal_seconds) const
+    {
+        return nominal_seconds * nominal().freqGhz / opp.freqGhz;
+    }
+
+    /**
+     * Energy of the same workload relative to the nominal point:
+     * power scales V^2 f, time scales 1/f, so energy scales V^2.
+     */
+    double
+    relativeEnergyAt(const OperatingPoint &opp) const
+    {
+        const double v = opp.voltage / nominal().voltage;
+        return v * v;
+    }
+
+    /**
+     * Governor: the lowest-energy (lowest-voltage) point that meets
+     * @p deadline_seconds for a nominally @p nominal_seconds job.
+     * Falls back to the fastest point when none meets the deadline.
+     */
+    const OperatingPoint &
+    pick(double nominal_seconds, double deadline_seconds) const
+    {
+        for (const OperatingPoint &opp : points_) {
+            if (latencyAt(opp, nominal_seconds) <= deadline_seconds)
+                return opp;
+        }
+        return points_.back();
+    }
+
+  private:
+    std::vector<OperatingPoint> points_;
+    std::size_t nominal_;
+};
+
+} // namespace soc
+} // namespace ascend
+
+#endif // ASCEND_SOC_DVFS_HH

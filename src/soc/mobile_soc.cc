@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mobile SoC implementation.
+ */
+
+#include "soc/mobile_soc.hh"
+
+#include <algorithm>
+
+#include "arch/unit_model.hh"
+
+namespace ascend {
+namespace soc {
+
+MobileSoc::MobileSoc(MobileSocConfig config)
+    : config_(std::move(config)),
+      lite_(arch::makeCoreConfig(arch::CoreVersion::Lite)),
+      tiny_(arch::makeCoreConfig(arch::CoreVersion::Tiny)),
+      liteProfiler_(lite_),
+      tinyProfiler_(tiny_)
+{
+}
+
+double
+MobileSoc::peakOpsInt8() const
+{
+    const double lite_ops =
+        double(lite_.cubeShapeFor(DataType::Int8).flopsPerCycle()) *
+        lite_.clockGhz * 1e9;
+    const double tiny_ops =
+        double(tiny_.cubeShapeFor(DataType::Int8).flopsPerCycle()) *
+        tiny_.clockGhz * 1e9;
+    return config_.liteCores * lite_ops + config_.tinyCores * tiny_ops;
+}
+
+double
+MobileSoc::npuPowerWatts() const
+{
+    using arch::TechNode;
+    // Cube power at peak from the calibrated energy model, plus the
+    // matched vector units and the uncore (NoC, DDR PHY share).
+    const auto lite_cube =
+        arch::modelCube(lite_.cube, lite_.clockGhz, TechNode::N7);
+    const auto lite_vec = arch::modelVector(lite_.vectorWidthBytes,
+                                            lite_.clockGhz, TechNode::N7);
+    const double lite_w = lite_cube.powerW + 0.3 * lite_vec.powerW;
+    // The Tiny core's always-on domain is independently powered and
+    // idle during peak-NPU benchmarking, so it does not contribute.
+    return config_.liteCores * lite_w + config_.uncoreWatts;
+}
+
+double
+MobileSoc::npuAreaMm2() const
+{
+    using arch::TechNode;
+    return config_.liteCores * arch::modelCoreAreaMm2(lite_, TechNode::N7) +
+           config_.tinyCores * arch::modelCoreAreaMm2(tiny_, TechNode::N7);
+}
+
+double
+MobileSoc::coreLatencySeconds(const compiler::Profiler &profiler,
+                              const model::Network &net) const
+{
+    const arch::CoreConfig &core = profiler.config();
+    core::SimResult total;
+    std::size_t ops = 0;
+    // Per-layer simulation plus the framework's per-operator dispatch
+    // overhead (NNAPI/driver path).
+    for (const auto &run : profiler.runInference(net)) {
+        total.accumulate(run.result);
+        ++ops;
+    }
+    const double compute_sec = total.seconds(core.clockGhz) +
+                               double(ops) * config_.opOverheadSec;
+    // Off-chip traffic is bounded by the shared LPDDR interface.
+    const double mem_sec = double(total.extBytes()) /
+                           config_.dram.bandwidthBytesPerSec;
+    return std::max(compute_sec, mem_sec);
+}
+
+double
+MobileSoc::liteLatencySeconds(const model::Network &net) const
+{
+    return coreLatencySeconds(liteProfiler_, net);
+}
+
+double
+MobileSoc::tinyLatencySeconds(const model::Network &net) const
+{
+    return coreLatencySeconds(tinyProfiler_, net);
+}
+
+double
+MobileSoc::bigLittleMakespan(const model::Network &big,
+                             const model::Network &little) const
+{
+    // Batch split over the Lite cores is layer-wise data parallelism;
+    // with two identical cores the big job halves (minus one core's
+    // worth of indivisible remainder, negligible at these sizes).
+    const double big_sec =
+        liteLatencySeconds(big) / std::max(1u, config_.liteCores);
+    const double little_sec = tinyLatencySeconds(little);
+    return std::max(big_sec, little_sec);
+}
+
+} // namespace soc
+} // namespace ascend

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Kirin 990 5G mobile SoC model (Section 3.2): two Ascend-Lite cores
+ * and one Ascend-Tiny core in a big-little arrangement behind an
+ * LPDDR4X memory system. Reproduces Table 8's derived rows (peak
+ * TOPS, TOPS/W, NPU area, MobileNetV2 latency).
+ */
+
+#ifndef ASCEND_SOC_MOBILE_SOC_HH
+#define ASCEND_SOC_MOBILE_SOC_HH
+
+#include "compiler/profiler.hh"
+#include "soc/soc_config.hh"
+
+namespace ascend {
+namespace soc {
+
+/**
+ * The mobile SoC model.
+ */
+class MobileSoc
+{
+  public:
+    explicit MobileSoc(MobileSocConfig config = {});
+
+    /** Peak int8 throughput of the whole NPU (Lite x2 + Tiny). */
+    double peakOpsInt8() const;
+
+    /** NPU power at peak (unit energy model + uncore). */
+    double npuPowerWatts() const;
+
+    /** Table 8's TOPS/W figure. */
+    double
+    powerEfficiency() const
+    {
+        return peakOpsInt8() / 1e12 / npuPowerWatts();
+    }
+
+    /** NPU area from the calibrated 7 nm model. */
+    double npuAreaMm2() const;
+
+    /**
+     * Batch-1 latency of a network on one Lite core, seconds,
+     * including the LPDDR roofline on off-chip traffic.
+     */
+    double liteLatencySeconds(const model::Network &net) const;
+
+    /** Batch-1 latency of an always-on network on the Tiny core. */
+    double tinyLatencySeconds(const model::Network &net) const;
+
+    /**
+     * Big-little concurrency: latency of running @p big on the two
+     * Lite cores (batch split) while @p little runs on the Tiny core.
+     * Returns the makespan.
+     */
+    double bigLittleMakespan(const model::Network &big,
+                             const model::Network &little) const;
+
+    const MobileSocConfig &config() const { return config_; }
+    const arch::CoreConfig &liteConfig() const { return lite_; }
+    const arch::CoreConfig &tinyConfig() const { return tiny_; }
+
+  private:
+    double coreLatencySeconds(const compiler::Profiler &profiler,
+                              const model::Network &net) const;
+
+    MobileSocConfig config_;
+    arch::CoreConfig lite_;
+    arch::CoreConfig tiny_;
+    compiler::Profiler liteProfiler_;
+    compiler::Profiler tinyProfiler_;
+};
+
+} // namespace soc
+} // namespace ascend
+
+#endif // ASCEND_SOC_MOBILE_SOC_HH

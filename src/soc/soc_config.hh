@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SoC-level configurations for the three designs of Section 3:
+ * the DNN training SoC (Ascend 910), the mobile SoC (Kirin 990 5G),
+ * and the autonomous-driving SoC (Ascend 610). Numbers are the
+ * published ones (Tables 5-9, Sections 3.1-3.3).
+ */
+
+#ifndef ASCEND_SOC_SOC_CONFIG_HH
+#define ASCEND_SOC_SOC_CONFIG_HH
+
+#include <string>
+
+#include "arch/core_config.hh"
+#include "memory/dram.hh"
+#include "noc/mesh.hh"
+
+namespace ascend {
+namespace soc {
+
+/** Ascend 910 training SoC (Section 3.1). */
+struct TrainingSocConfig
+{
+    std::string name = "ascend-910";
+    unsigned aiCores = 32;
+    arch::CoreVersion coreVersion = arch::CoreVersion::Max;
+    unsigned cpuCores = 16;
+    Bytes llcCapacity = 96 * kMiB;       ///< on-die AI LLC ("L2")
+    double llcBandwidth = 4e12;          ///< 4 TB/s aggregate to L2
+    memory::DramConfig hbm = memory::hbm2Ascend910();
+    noc::MeshConfig mesh{6, 4, 128, 2.0, true, 64};
+    double tdpWatts = 300;
+    /** Task-scheduler dispatch overhead per layer task (Section 5.2). */
+    double taskOverheadSec = 30e-6;
+    double computeDieMm2 = 456;
+    double ioDieMm2 = 168;
+    unsigned videoDecodeChannels = 128;
+};
+
+/** Kirin 990 5G mobile SoC (Section 3.2). */
+struct MobileSocConfig
+{
+    std::string name = "kirin-990-5g";
+    unsigned liteCores = 2;
+    unsigned tinyCores = 1;
+    memory::DramConfig dram = memory::lpddr4xMobile();
+    /** Uncore (NoC + DDR PHY share) power added to core power. */
+    double uncoreWatts = 0.15;
+    /** Framework / driver dispatch overhead per operator. */
+    double opOverheadSec = 18e-6;
+    double tinyTypicalWatts = 0.3; ///< paper: ~300 mW always-on budget
+    double npuAreaMm2 = 4.0;       ///< Table 8
+};
+
+/** Ascend 610 automotive SoC (Section 3.3). */
+struct AutoSocConfig
+{
+    std::string name = "ascend-610";
+    unsigned aiCores = 10;
+    arch::CoreVersion coreVersion = arch::CoreVersion::Std;
+    unsigned vectorCores = 2;   ///< cube-less cores for SLAM tasks
+    Bytes llcCapacity = 32 * kMiB;
+    double llcBandwidth = 1.1e12;
+    memory::DramConfig dram = memory::ddrAutomotive();
+    double dvppFrameSeconds = 0.8e-3; ///< per-frame pre-processing
+    double tdpWatts = 65;
+    double dieMm2 = 401;
+};
+
+} // namespace soc
+} // namespace ascend
+
+#endif // ASCEND_SOC_SOC_CONFIG_HH

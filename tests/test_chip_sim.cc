@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the fluid multi-core chip simulator, the latency
+ * histogram, the extended zoo additions (Siamese / PointNet), and a
+ * randomized program fuzz test closing the verifier/simulator loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "compiler/profiler.hh"
+#include "core/core_sim.hh"
+#include "isa/verify.hh"
+#include "model/zoo.hh"
+#include "noc/mesh.hh"
+#include "soc/chip_sim.hh"
+
+namespace ascend {
+namespace {
+
+// ------------------------------------------------------- chip sim
+
+TEST(ChipSim, PureComputeIsUncontended)
+{
+    std::vector<std::vector<soc::CoreTask>> cores(4);
+    for (auto &c : cores)
+        c.push_back({0.010, 0});
+    const auto r = soc::runChipSim(cores, 1e9);
+    EXPECT_NEAR(r.makespan, 0.010, 1e-9);
+}
+
+TEST(ChipSim, MemoryBoundTasksShareCapacity)
+{
+    // Four cores each need 1 GB over a 1 GB/s system: 4 s total.
+    std::vector<std::vector<soc::CoreTask>> cores(4);
+    for (auto &c : cores)
+        c.push_back({0.0, Bytes(1e9)});
+    const auto r = soc::runChipSim(cores, 1e9);
+    EXPECT_NEAR(r.makespan, 4.0, 1e-6);
+    EXPECT_NEAR(r.avgMemUtilization, 1.0, 1e-6);
+}
+
+TEST(ChipSim, ComputeHidesMemoryWhenItDominates)
+{
+    std::vector<std::vector<soc::CoreTask>> cores(2);
+    cores[0].push_back({1.0, Bytes(1e6)}); // compute-bound
+    cores[1].push_back({1.0, Bytes(1e6)});
+    const auto r = soc::runChipSim(cores, 1e9);
+    EXPECT_NEAR(r.makespan, 1.0, 1e-3);
+}
+
+TEST(ChipSim, StragglerStretchesMakespan)
+{
+    std::vector<std::vector<soc::CoreTask>> even(4), skewed(4);
+    for (auto &c : even)
+        c.push_back({0.010, 0});
+    for (std::size_t i = 0; i < 4; ++i)
+        skewed[i].push_back({i == 0 ? 0.025 : 0.005, 0});
+    // Same total work; the skewed split is slower end-to-end.
+    EXPECT_GT(soc::runChipSim(skewed, 1e9).makespan,
+              soc::runChipSim(even, 1e9).makespan);
+}
+
+TEST(ChipSim, SequentialTasksAccumulate)
+{
+    std::vector<std::vector<soc::CoreTask>> cores(1);
+    cores[0] = {{0.001, 0}, {0.002, 0}, {0.0, Bytes(3e6)}};
+    const auto r = soc::runChipSim(cores, 1e9);
+    EXPECT_NEAR(r.makespan, 0.006, 1e-6);
+}
+
+TEST(ChipSim, ContentionVsRooflineGap)
+{
+    // 8 cores alternate compute-heavy and memory-heavy tasks out of
+    // phase; the fluid sim must land between the two naive bounds.
+    std::vector<std::vector<soc::CoreTask>> cores(8);
+    double total_compute = 0;
+    Bytes total_bytes = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (int t = 0; t < 4; ++t) {
+            const bool heavy = (i + t) % 2 == 0;
+            soc::CoreTask task{heavy ? 0.004 : 0.001,
+                               Bytes(heavy ? 1e6 : 8e6)};
+            cores[i].push_back(task);
+            total_compute += task.computeSeconds;
+            total_bytes += task.memBytes;
+        }
+    }
+    const double cap = 2e9;
+    const auto r = soc::runChipSim(cores, cap);
+    const double lower =
+        std::max(total_compute / 8, double(total_bytes) / cap);
+    const double upper = total_compute + double(total_bytes) / cap;
+    EXPECT_GE(r.makespan, lower - 1e-9);
+    EXPECT_LE(r.makespan, upper);
+}
+
+TEST(ChipSimDeath, ZeroCapacityRejected)
+{
+    EXPECT_DEATH(soc::runChipSim({}, 0), "capacity");
+}
+
+// ------------------------------------------------------ histogram
+
+TEST(Histogram, PercentilesOnUniformSamples)
+{
+    stats::Histogram h(100.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(double(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+    EXPECT_LT(h.percentile(0.01), 5.0);
+}
+
+TEST(Histogram, OverflowLandsAtMax)
+{
+    stats::Histogram h(10.0);
+    h.sample(1e9);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    stats::Histogram h(10.0);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(MeshPercentiles, TailExceedsMedianUnderLoad)
+{
+    noc::MeshConfig cfg;
+    noc::MeshNoc mesh(cfg);
+    noc::UniformTraffic t(0.4, mesh.nodes());
+    mesh.run(t, 10000);
+    const double p50 = mesh.latencyPercentile(0, 0.5);
+    const double p99 = mesh.latencyPercentile(0, 0.99);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_GT(p99, p50);
+}
+
+// --------------------------------------------- zoo additions
+
+TEST(ZooMore, SiameseHasTwoBranchesAndXcorr)
+{
+    const auto net = model::zoo::siameseTracker(1);
+    bool has_template = false, has_search = false, has_xcorr = false;
+    for (const auto &l : net.layers) {
+        if (l.name.find("template.") == 0)
+            has_template = true;
+        if (l.name.find("search.") == 0)
+            has_search = true;
+        if (l.name == "xcorr")
+            has_xcorr = true;
+    }
+    EXPECT_TRUE(has_template);
+    EXPECT_TRUE(has_search);
+    EXPECT_TRUE(has_xcorr);
+}
+
+TEST(ZooMore, PointNetRowsScaleWithPoints)
+{
+    const auto small = model::zoo::pointNet(1, 512);
+    const auto big = model::zoo::pointNet(1, 2048);
+    EXPECT_NEAR(double(big.totalFlops()),
+                4.0 * double(small.totalFlops()),
+                0.3 * double(big.totalFlops()));
+}
+
+TEST(ZooMore, BothRunOnTheStdCore)
+{
+    compiler::Profiler p(arch::makeCoreConfig(arch::CoreVersion::Std));
+    for (const auto &net :
+         {model::zoo::siameseTracker(1), model::zoo::pointNet(1)}) {
+        const auto runs = p.runInference(net);
+        EXPECT_EQ(runs.size(), net.size()) << net.name;
+    }
+}
+
+// ------------------------------------------------------ fuzzing
+
+/**
+ * Generate random deadlock-free programs and confirm the simulator
+ * completes them with consistent busy-cycle accounting.
+ *
+ * Deadlock freedom by construction: flag f is produced only by pipe
+ * f % 5 and consumed only by strictly higher-numbered pipes, so the
+ * wait graph is a DAG over pipes (the lowest-numbered pipe never
+ * waits, hence always progresses). Arbitrary balanced set/wait
+ * placement can deadlock through cross-pipe cycles the in-order
+ * queues cannot untangle - which the verifier documents as beyond
+ * its conservative checks.
+ */
+TEST(Fuzz, VerifiedRandomProgramsAlwaysRun)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    core::CoreSim sim(cfg);
+    Rng rng(1234);
+    for (int trial = 0; trial < 40; ++trial) {
+        isa::Program p("fuzz");
+        Cycles exec_total = 0;
+        int pending[8] = {};
+        auto producer = [](std::uint8_t f) { return unsigned(f % 5); };
+        for (int i = 0; i < 200; ++i) {
+            switch (rng.uniform(4)) {
+              case 0:
+              case 1: {
+                const auto pipe = static_cast<isa::Pipe>(rng.uniform(6));
+                const Cycles c = 1 + rng.uniform(50);
+                p.exec(pipe, c);
+                exec_total += c;
+                break;
+              }
+              case 2: {
+                const auto f = std::uint8_t(rng.uniform(8));
+                p.setFlag(static_cast<isa::Pipe>(producer(f)), f);
+                ++pending[f];
+                break;
+              }
+              default: {
+                const auto f = std::uint8_t(rng.uniform(8));
+                if (pending[f] > 0) {
+                    const unsigned lo = producer(f) + 1;
+                    const auto pipe = static_cast<isa::Pipe>(
+                        lo + rng.uniform(6 - lo));
+                    p.waitFlag(pipe, f);
+                    --pending[f];
+                }
+                break;
+              }
+            }
+        }
+        ASSERT_TRUE(isa::isWellFormed(p)) << "trial " << trial;
+        const auto r = sim.run(p); // must not deadlock (panics if so)
+        Cycles busy = 0;
+        for (std::size_t pp = 0; pp < isa::kNumPipes; ++pp)
+            busy += r.pipes[pp].busyCycles;
+        EXPECT_EQ(busy, exec_total) << "trial " << trial;
+        EXPECT_GE(r.totalCycles, busy / isa::kNumPipes);
+    }
+}
+
+/**
+ * Conversely: programs the verifier rejects for missing sets really
+ * do deadlock in the simulator.
+ */
+TEST(FuzzDeath, UnderflowedProgramDeadlocks)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    core::CoreSim sim(cfg);
+    isa::Program p("bad");
+    p.setFlag(isa::Pipe::Mte1, 0);
+    p.waitFlag(isa::Pipe::Cube, 0);
+    p.waitFlag(isa::Pipe::Cube, 0); // one token short
+    p.exec(isa::Pipe::Cube, 5);
+    EXPECT_FALSE(isa::isWellFormed(p));
+    EXPECT_DEATH(sim.run(p), "deadlocked");
+}
+
+} // anonymous namespace
+} // namespace ascend

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for configuration serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config_io.hh"
+
+namespace ascend {
+namespace arch {
+namespace {
+
+TEST(ConfigIo, RoundTripsEveryPreset)
+{
+    for (auto v : {CoreVersion::Tiny, CoreVersion::Lite,
+                   CoreVersion::Mini, CoreVersion::Std,
+                   CoreVersion::Max}) {
+        const CoreConfig original = makeCoreConfig(v);
+        const CoreConfig parsed =
+            configFromString(configToString(original), original);
+        EXPECT_EQ(parsed.name, original.name);
+        EXPECT_DOUBLE_EQ(parsed.clockGhz, original.clockGhz);
+        EXPECT_EQ(parsed.cube.m0, original.cube.m0);
+        EXPECT_EQ(parsed.cube.k0, original.cube.k0);
+        EXPECT_EQ(parsed.cube.n0, original.cube.n0);
+        EXPECT_EQ(parsed.vectorWidthBytes, original.vectorWidthBytes);
+        EXPECT_EQ(parsed.busABytesPerCycle, original.busABytesPerCycle);
+        EXPECT_EQ(parsed.busExtBytesPerCycle,
+                  original.busExtBytesPerCycle);
+        EXPECT_EQ(parsed.l1Bytes, original.l1Bytes);
+        EXPECT_EQ(parsed.supportsFp16, original.supportsFp16);
+    }
+}
+
+TEST(ConfigIo, OverridesApplyOnTopOfBase)
+{
+    const CoreConfig base = makeCoreConfig(CoreVersion::Max);
+    const CoreConfig parsed = configFromString(
+        "vector_width_bytes = 512\n"
+        "cube_m0 = 32\n",
+        base);
+    EXPECT_EQ(parsed.vectorWidthBytes, 512u);
+    EXPECT_EQ(parsed.cube.m0, 32u);
+    EXPECT_EQ(parsed.cube.k0, base.cube.k0); // untouched
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored)
+{
+    const CoreConfig parsed = configFromString(
+        "# a comment\n"
+        "\n"
+        "l1_bytes = 2097152  # inline comment\n");
+    EXPECT_EQ(parsed.l1Bytes, 2 * kMiB);
+}
+
+TEST(ConfigIoDeath, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(configFromString("no_such_knob = 1\n"),
+                testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ConfigIoDeath, MalformedLineIsFatal)
+{
+    EXPECT_EXIT(configFromString("just words\n"),
+                testing::ExitedWithCode(1), "expected 'key = value'");
+}
+
+TEST(ConfigIoDeath, BadValueIsFatal)
+{
+    EXPECT_EXIT(configFromString("l1_bytes = lots\n"),
+                testing::ExitedWithCode(1), "bad integer");
+    EXPECT_EXIT(configFromString("supports_int8 = maybe\n"),
+                testing::ExitedWithCode(1), "bad bool");
+}
+
+TEST(ConfigIoDeath, ParsedConfigIsValidated)
+{
+    // clock 0 parses but fails validate().
+    EXPECT_DEATH(configFromString("clock_ghz = 0\n"), "clock");
+}
+
+TEST(ConfigIo, EditedConfigDrivesTheSimulatorDifferently)
+{
+    // The point of the file format: widen the vector unit and the
+    // parsed config is a genuinely different machine.
+    const CoreConfig narrow = configFromString("vector_width_bytes = 64");
+    const CoreConfig wide = configFromString("vector_width_bytes = 1024");
+    EXPECT_EQ(narrow.vectorLanes(DataType::Fp16), 32u);
+    EXPECT_EQ(wide.vectorLanes(DataType::Fp16), 512u);
+}
+
+} // anonymous namespace
+} // namespace arch
+} // namespace ascend

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the core configuration presets: every Table 5 design
+ * point must match the published parameters.
+ */
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "arch/core_config.hh"
+
+namespace ascend {
+namespace arch {
+namespace {
+
+TEST(CubeShape, MacAndFlopCounts)
+{
+    const CubeShape c{16, 16, 16};
+    EXPECT_EQ(c.macsPerCycle(), 4096u);
+    EXPECT_EQ(c.flopsPerCycle(), 8192u);
+    const CubeShape tiny{4, 32, 4};
+    EXPECT_EQ(tiny.flopsPerCycle(), 1024u);
+}
+
+TEST(CoreConfig, MaxMatchesTable5)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Max);
+    EXPECT_DOUBLE_EQ(c.clockGhz, 1.0);
+    EXPECT_EQ(c.cube.flopsPerCycle(), 8192u);
+    EXPECT_EQ(c.vectorWidthBytes, 256u);
+    // A: 4 TB/s at 1 GHz.
+    EXPECT_EQ(c.busABytesPerCycle, 4096u);
+    EXPECT_EQ(c.busBBytesPerCycle, 2048u);
+    EXPECT_EQ(c.busUbBytesPerCycle, 2048u);
+    // 910: 94 GB/s LLC per core.
+    EXPECT_EQ(c.busExtBytesPerCycle, 94u);
+}
+
+TEST(CoreConfig, StdAndMiniShareDatapath)
+{
+    const CoreConfig std_core = makeCoreConfig(CoreVersion::Std);
+    const CoreConfig mini = makeCoreConfig(CoreVersion::Mini);
+    EXPECT_EQ(std_core.cube.flopsPerCycle(), 8192u);
+    EXPECT_EQ(mini.cube.flopsPerCycle(), 8192u);
+    EXPECT_EQ(std_core.busExtBytesPerCycle, 111u); // 610
+    EXPECT_EQ(mini.busExtBytesPerCycle, 96u);      // 310
+    EXPECT_TRUE(std_core.supportsInt4);            // automotive
+}
+
+TEST(CoreConfig, LiteMatchesTable5)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Lite);
+    EXPECT_DOUBLE_EQ(c.clockGhz, 0.75);
+    EXPECT_EQ(c.cube.flopsPerCycle(), 2048u);
+    EXPECT_EQ(c.cube.m0, 4u); // batch-1 MAC utilization (Section 3.2)
+    EXPECT_EQ(c.vectorWidthBytes, 128u);
+    // 768 GB/s at 0.75 GHz on A, B and UB.
+    EXPECT_EQ(c.busABytesPerCycle, 1024u);
+    EXPECT_EQ(c.busUbBytesPerCycle, 1024u);
+}
+
+TEST(CoreConfig, TinyMatchesTable5)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Tiny);
+    EXPECT_EQ(c.cube.flopsPerCycle(), 1024u);
+    EXPECT_FALSE(c.supportsFp16); // power limit (Section 3.2)
+    EXPECT_EQ(c.vectorWidthBytes, 32u);
+    EXPECT_EQ(c.busABytesPerCycle, 512u);  // 384 GB/s at 0.75 GHz
+    EXPECT_EQ(c.busUbBytesPerCycle, 256u); // 192 GB/s
+}
+
+TEST(CoreConfig, Int8DoublesReduction)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Max);
+    const CubeShape s = c.cubeShapeFor(DataType::Int8);
+    EXPECT_EQ(s.k0, 32u); // 16x32x16 per the paper
+    EXPECT_EQ(s.m0, 16u);
+}
+
+TEST(CoreConfig, Int4QuadruplesReductionOnStd)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Std);
+    const CubeShape s = c.cubeShapeFor(DataType::Int4);
+    EXPECT_EQ(s.k0, 64u);
+}
+
+TEST(CoreConfig, TinyInt8ShapeIsNative)
+{
+    // Tiny is int8-only: its 4x32x4 shape is already the int8 shape.
+    const CoreConfig c = makeCoreConfig(CoreVersion::Tiny);
+    const CubeShape s = c.cubeShapeFor(DataType::Int8);
+    EXPECT_EQ(s.k0, 32u);
+}
+
+TEST(CoreConfigDeath, Fp16OnTinyIsFatal)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Tiny);
+    EXPECT_EXIT(c.cubeShapeFor(DataType::Fp16),
+                testing::ExitedWithCode(1), "does not support fp16");
+}
+
+TEST(CoreConfigDeath, Int4OnMaxIsFatal)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Max);
+    EXPECT_EXIT(c.cubeShapeFor(DataType::Int4),
+                testing::ExitedWithCode(1), "does not support int4");
+}
+
+TEST(CoreConfig, VectorLanes)
+{
+    const CoreConfig c = makeCoreConfig(CoreVersion::Max);
+    EXPECT_EQ(c.vectorLanes(DataType::Fp16), 128u);
+    EXPECT_EQ(c.vectorLanes(DataType::Int8), 256u);
+    EXPECT_EQ(c.vectorLanes(DataType::Fp32), 64u);
+}
+
+TEST(CoreConfig, PeakCubeThroughput)
+{
+    const CoreConfig max = makeCoreConfig(CoreVersion::Max);
+    EXPECT_NEAR(max.peakCubeOpsPerSecond(DataType::Fp16), 8.192e12,
+                1e9); // 8 TFLOPS (Table 3)
+    EXPECT_NEAR(max.peakCubeOpsPerSecond(DataType::Int8), 16.384e12,
+                1e9);
+    const CoreConfig tiny = makeCoreConfig(CoreVersion::Tiny);
+    EXPECT_NEAR(tiny.peakCubeOpsPerSecond(DataType::Int8), 0.768e12,
+                1e9);
+}
+
+TEST(CoreConfigDeath, ValidateRejectsBadConfig)
+{
+    CoreConfig c = makeCoreConfig(CoreVersion::Max);
+    c.clockGhz = 0;
+    EXPECT_DEATH(c.validate(), "clock");
+    c = makeCoreConfig(CoreVersion::Max);
+    c.l0aBytes = 4; // cannot hold a double-buffered fractal
+    EXPECT_DEATH(c.validate(), "L0A");
+}
+
+TEST(CoreConfig, Names)
+{
+    EXPECT_STREQ(toString(CoreVersion::Max), "Ascend-Max");
+    EXPECT_STREQ(toString(CoreVersion::Std), "Ascend");
+    EXPECT_STREQ(toString(CoreVersion::Tiny), "Ascend-Tiny");
+}
+
+/** All presets validate and have sane buffer hierarchies. */
+class PresetTest : public testing::TestWithParam<CoreVersion>
+{
+};
+
+TEST_P(PresetTest, ValidatesAndIsOrdered)
+{
+    const CoreConfig c = makeCoreConfig(GetParam());
+    c.validate();
+    EXPECT_GE(c.l1Bytes, c.l0aBytes);
+    EXPECT_GE(c.l1Bytes, c.ubBytes);
+    EXPECT_GE(c.busABytesPerCycle, c.busExtBytesPerCycle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCores, PresetTest,
+    testing::Values(CoreVersion::Tiny, CoreVersion::Lite,
+                    CoreVersion::Mini, CoreVersion::Std,
+                    CoreVersion::Max),
+    [](const auto &info) {
+        std::string s = toString(info.param);
+        for (auto &ch : s)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return s;
+    });
+
+} // anonymous namespace
+} // namespace arch
+} // namespace ascend

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the instruction cost model, including parameterized
+ * sweeps over GEMM shapes and core versions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace ascend {
+namespace {
+
+using core::CostModel;
+
+CostModel
+maxModel()
+{
+    return CostModel(arch::makeCoreConfig(arch::CoreVersion::Max));
+}
+
+TEST(CostModel, CubeGemmExactFractal)
+{
+    const CostModel cm = maxModel();
+    // One 16x16x16 fractal = 1 cycle + overhead.
+    EXPECT_EQ(cm.cubeGemm(16, 16, 16, DataType::Fp16),
+              CostModel::kComputeOverhead + 1);
+}
+
+TEST(CostModel, CubeGemmCeilsPartialFractals)
+{
+    const CostModel cm = maxModel();
+    EXPECT_EQ(cm.cubeGemm(17, 16, 16, DataType::Fp16),
+              CostModel::kComputeOverhead + 2);
+    EXPECT_EQ(cm.cubeGemm(1, 1, 1, DataType::Fp16),
+              CostModel::kComputeOverhead + 1);
+    EXPECT_EQ(cm.cubeGemm(32, 32, 32, DataType::Fp16),
+              CostModel::kComputeOverhead + 8);
+}
+
+TEST(CostModel, Int8DoublesReductionDim)
+{
+    const CostModel cm = maxModel();
+    // int8 fractal is 16x32x16: k=32 is one fractal, not two.
+    EXPECT_EQ(cm.cubeGemm(16, 32, 16, DataType::Int8),
+              CostModel::kComputeOverhead + 1);
+    EXPECT_EQ(cm.cubeGemm(16, 32, 16, DataType::Fp16),
+              CostModel::kComputeOverhead + 2);
+}
+
+TEST(CostModel, GemmFlops)
+{
+    EXPECT_EQ(CostModel::gemmFlops(2, 3, 4), 48u);
+    EXPECT_EQ(CostModel::gemmFlops(16, 16, 16), 8192u);
+}
+
+TEST(CostModel, VectorOpLaneThroughput)
+{
+    const CostModel cm = maxModel();
+    // 256 B width = 128 fp16 lanes.
+    EXPECT_EQ(cm.vectorOp(128, DataType::Fp16),
+              CostModel::kComputeOverhead + 1);
+    EXPECT_EQ(cm.vectorOp(129, DataType::Fp16),
+              CostModel::kComputeOverhead + 2);
+    // int8 doubles the lane count.
+    EXPECT_EQ(cm.vectorOp(256, DataType::Int8),
+              CostModel::kComputeOverhead + 1);
+}
+
+TEST(CostModel, VectorOpPassesMultiplyWork)
+{
+    const CostModel cm = maxModel();
+    const Cycles one = cm.vectorOp(1 << 16, DataType::Fp16, 1.0);
+    const Cycles four = cm.vectorOp(1 << 16, DataType::Fp16, 4.0);
+    EXPECT_NEAR(double(four - CostModel::kComputeOverhead),
+                4.0 * double(one - CostModel::kComputeOverhead), 4.0);
+}
+
+TEST(CostModel, VectorOpUbBandwidthBound)
+{
+    // Shrink the UB port so bandwidth, not lanes, binds.
+    auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    cfg.busUbBytesPerCycle = 16;
+    const CostModel cm(cfg);
+    // 1024 fp16 elems, 1 pass: lanes would need 8 cycles, but the UB
+    // port moves 2 x 2048 bytes at 2 x 16 B/cycle = 128 cycles.
+    EXPECT_EQ(cm.vectorOp(1024, DataType::Fp16),
+              CostModel::kComputeOverhead + 128);
+}
+
+TEST(CostModel, MteTransfersMatchBusWidths)
+{
+    const CostModel cm = maxModel();
+    const auto &cfg = cm.config();
+    EXPECT_EQ(cm.mte1A(cfg.busABytesPerCycle * 10),
+              CostModel::kMoveOverhead + 10);
+    EXPECT_EQ(cm.mte1B(cfg.busBBytesPerCycle * 3),
+              CostModel::kMoveOverhead + 3);
+    EXPECT_EQ(cm.mte3L1(cfg.busUbBytesPerCycle),
+              CostModel::kMoveOverhead + 1);
+}
+
+TEST(CostModel, MteZeroBytesCostsOnlyOverhead)
+{
+    const CostModel cm = maxModel();
+    EXPECT_EQ(cm.mte2(0), CostModel::kMoveOverhead);
+}
+
+TEST(CostModel, Mte3ExtIsBoundByNarrowerBus)
+{
+    const CostModel cm = maxModel();
+    const auto &cfg = cm.config();
+    const Bytes narrow =
+        std::min(cfg.busUbBytesPerCycle, cfg.busExtBytesPerCycle);
+    EXPECT_EQ(cm.mte3Ext(narrow * 5), CostModel::kMoveOverhead + 5);
+}
+
+/** Property sweep: cube time scales with volume for every preset. */
+class CostModelPerCore
+    : public testing::TestWithParam<arch::CoreVersion>
+{
+};
+
+TEST_P(CostModelPerCore, CubeTimeMonotonicInEachDim)
+{
+    const CostModel cm(arch::makeCoreConfig(GetParam()));
+    const DataType dt = GetParam() == arch::CoreVersion::Tiny
+        ? DataType::Int8 : DataType::Fp16;
+    Cycles prev = 0;
+    for (std::uint64_t m = 16; m <= 512; m *= 2) {
+        const Cycles c = cm.cubeGemm(m, 64, 64, dt);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST_P(CostModelPerCore, PeakThroughputIsAchievableOnBigGemm)
+{
+    const auto cfg = arch::makeCoreConfig(GetParam());
+    const CostModel cm(cfg);
+    const DataType dt = GetParam() == arch::CoreVersion::Tiny
+        ? DataType::Int8 : DataType::Fp16;
+    const std::uint64_t m = 1024, k = 1024, n = 1024;
+    const Cycles c = cm.cubeGemm(m, k, n, dt);
+    const double flops_per_cycle =
+        double(CostModel::gemmFlops(m, k, n)) / double(c);
+    const double peak = double(cfg.cubeShapeFor(dt).flopsPerCycle());
+    EXPECT_GT(flops_per_cycle, 0.95 * peak);
+    EXPECT_LE(flops_per_cycle, peak);
+}
+
+TEST_P(CostModelPerCore, VectorNeverExceedsLaneRate)
+{
+    const auto cfg = arch::makeCoreConfig(GetParam());
+    const CostModel cm(cfg);
+    const DataType dt = GetParam() == arch::CoreVersion::Tiny
+        ? DataType::Int8 : DataType::Fp16;
+    for (std::uint64_t elems : {64ull, 1000ull, 100000ull}) {
+        const Cycles c = cm.vectorOp(elems, dt);
+        EXPECT_GE(c, ceilDiv(elems, cfg.vectorLanes(dt)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCores, CostModelPerCore,
+    testing::Values(arch::CoreVersion::Tiny, arch::CoreVersion::Lite,
+                    arch::CoreVersion::Mini, arch::CoreVersion::Std,
+                    arch::CoreVersion::Max),
+    [](const auto &info) {
+        std::string s = arch::toString(info.param);
+        for (auto &ch : s)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return s;
+    });
+
+} // anonymous namespace
+} // namespace ascend

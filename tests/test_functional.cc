@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Golden-model tests for the functional datapath: fp16 conversion
+ * semantics, cube GEMM numerics, img2col correctness (conv via cube
+ * == direct conv reference), and the vector-unit operations.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/float16.hh"
+#include "core/functional.hh"
+
+namespace ascend {
+namespace {
+
+namespace fn = core::functional;
+using model::Layer;
+using model::Tensor;
+
+// ------------------------------------------------------------- fp16
+
+TEST(Float16, ExactSmallIntegersRoundTrip)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 1024.0f, -2048.0f, 0.5f,
+                    0.25f})
+        EXPECT_EQ(roundToHalf(v), v);
+}
+
+TEST(Float16, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3c00);
+    EXPECT_EQ(floatToHalfBits(-2.0f), 0xc000);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7bff); // fp16 max
+    EXPECT_EQ(halfBitsToFloat(0x3c00), 1.0f);
+    EXPECT_EQ(halfBitsToFloat(0x7c00),
+              std::numeric_limits<float>::infinity());
+}
+
+TEST(Float16, OverflowSaturatesToInfinity)
+{
+    EXPECT_EQ(floatToHalfBits(1e6f), 0x7c00);
+    EXPECT_EQ(floatToHalfBits(-1e6f), 0xfc00);
+}
+
+TEST(Float16, SubnormalsSurvive)
+{
+    const float tiny = 5.96046448e-8f; // smallest fp16 subnormal
+    EXPECT_EQ(roundToHalf(tiny), tiny);
+    // Halfway below the smallest subnormal flushes to zero.
+    EXPECT_EQ(roundToHalf(tiny / 4), 0.0f);
+}
+
+TEST(Float16, NanPropagates)
+{
+    const float nan = std::nanf("");
+    EXPECT_TRUE(std::isnan(roundToHalf(nan)));
+}
+
+TEST(Float16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next fp16
+    // value; round-to-even keeps 1.0.
+    EXPECT_EQ(roundToHalf(1.0f + 4.8828125e-4f), 1.0f);
+    // 1 + 3 * 2^-11 is halfway between two values whose lower has an
+    // odd mantissa; round-to-even goes up.
+    const float up = roundToHalf(1.0f + 3 * 4.8828125e-4f);
+    EXPECT_NEAR(up, 1.0f + 2 * 9.765625e-4f, 1e-7);
+}
+
+TEST(Float16, RelativeErrorBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float v =
+            (float(rng.uniformReal()) * 2 - 1) * 1000.0f + 0.001f;
+        const float r = roundToHalf(v);
+        EXPECT_LE(std::fabs(r - v), std::fabs(v) * 0.001f) << v;
+    }
+}
+
+TEST(Float16, HalfValueType)
+{
+    Half h = 3.5f;
+    EXPECT_EQ(float(h), 3.5f);
+    EXPECT_EQ(Half::fromBits(h.bits()).bits(), h.bits());
+}
+
+// ------------------------------------------------------------- gemm
+
+TEST(Functional, CubeGemmMatchesReferenceOnExactValues)
+{
+    // Small integers are exact in fp16: results must match exactly.
+    Rng rng(1);
+    Tensor a({8, 16}), b({16, 4});
+    for (auto &v : a.data())
+        v = float(int(rng.uniform(7)) - 3);
+    for (auto &v : b.data())
+        v = float(int(rng.uniform(7)) - 3);
+    const Tensor cube = fn::cubeGemm(a, b);
+    const Tensor ref = fn::referenceGemm(a, b);
+    EXPECT_EQ(cube.maxAbsDiff(ref), 0.0f);
+}
+
+TEST(Functional, CubeGemmFp16ErrorIsBounded)
+{
+    Rng rng(2);
+    const Tensor a = Tensor::random({32, 64}, rng);
+    const Tensor b = Tensor::random({64, 32}, rng);
+    const Tensor cube = fn::cubeGemm(a, b);
+    const Tensor ref = fn::referenceGemm(a, b);
+    // fp16 source rounding: relative error ~2^-11 per operand, k=64
+    // accumulations in fp32; loose absolute bound for unit operands.
+    EXPECT_LT(cube.maxAbsDiff(ref), 0.1f);
+    EXPECT_GT(cube.maxAbsDiff(ref), 0.0f); // rounding is real
+}
+
+TEST(FunctionalDeath, GemmShapeMismatchPanics)
+{
+    Tensor a({4, 8}), b({9, 4});
+    EXPECT_DEATH(fn::cubeGemm(a, b), "inner dims");
+}
+
+// ---------------------------------------------------------- img2col
+
+TEST(Functional, Img2colShape)
+{
+    const Layer conv = Layer::conv2d("c", 2, 3, 8, 8, 4, 3, 1, 1);
+    Rng rng(3);
+    const Tensor input = Tensor::random({2, 3, 8, 8}, rng);
+    const Tensor patches = fn::img2col(input, conv);
+    EXPECT_EQ(patches.shape()[0], 2u * 8 * 8);
+    EXPECT_EQ(patches.shape()[1], 3u * 9);
+}
+
+TEST(Functional, Img2colIdentityFor1x1)
+{
+    // 1x1 stride-1 conv: the patch matrix is a pure layout transform.
+    const Layer conv = Layer::conv2d("c", 1, 2, 4, 4, 5, 1, 1, 0);
+    Rng rng(4);
+    const Tensor input = Tensor::random({1, 2, 4, 4}, rng);
+    const Tensor patches = fn::img2col(input, conv);
+    for (std::size_t h = 0; h < 4; ++h)
+        for (std::size_t w = 0; w < 4; ++w)
+            for (std::size_t c = 0; c < 2; ++c)
+                EXPECT_EQ(patches.at2(h * 4 + w, c),
+                          input.at4(0, c, h, w));
+}
+
+TEST(Functional, Img2colZeroPadsBorders)
+{
+    const Layer conv = Layer::conv2d("c", 1, 1, 3, 3, 1, 3, 1, 1);
+    Tensor input({1, 1, 3, 3});
+    for (std::size_t i = 0; i < 9; ++i)
+        input[i] = float(i + 1);
+    const Tensor patches = fn::img2col(input, conv);
+    // The first output position's patch has the top-left 2x2 live.
+    EXPECT_EQ(patches.at2(0, 0), 0.0f); // padded corner
+    EXPECT_EQ(patches.at2(0, 4), 1.0f); // center = input(0,0)
+    EXPECT_EQ(patches.at2(0, 8), 5.0f);
+}
+
+/**
+ * The central property the compiler's lowering relies on: a
+ * convolution computed as img2col + cube GEMM equals the direct
+ * convolution reference, for many geometries.
+ */
+struct ConvCase
+{
+    unsigned batch, in_c, spatial, out_c, kernel, stride, pad;
+};
+
+class ConvEquivalence : public testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvEquivalence, CubePathMatchesDirectReference)
+{
+    const ConvCase &cc = GetParam();
+    const Layer conv = Layer::conv2d("c", cc.batch, cc.in_c, cc.spatial,
+                                     cc.spatial, cc.out_c, cc.kernel,
+                                     cc.stride, cc.pad);
+    Rng rng(cc.in_c * 31 + cc.kernel);
+    const Tensor input = Tensor::random(
+        {cc.batch, cc.in_c, cc.spatial, cc.spatial}, rng);
+    const Tensor weights = Tensor::random(
+        {cc.out_c, cc.in_c, cc.kernel, cc.kernel}, rng);
+    const Tensor via_cube = fn::conv2dViaCube(input, weights, conv);
+    const Tensor direct = fn::referenceConv2d(input, weights, conv);
+    EXPECT_EQ(via_cube.shape(), direct.shape());
+    // Equal up to fp16 source rounding in the cube path.
+    EXPECT_LT(via_cube.maxAbsDiff(direct), 0.05f * cc.in_c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvEquivalence,
+    testing::Values(ConvCase{1, 1, 5, 1, 3, 1, 1},
+                    ConvCase{1, 3, 8, 4, 3, 1, 1},
+                    ConvCase{2, 2, 9, 3, 3, 2, 1},
+                    ConvCase{1, 4, 7, 2, 1, 1, 0},
+                    ConvCase{1, 2, 11, 2, 5, 2, 2},
+                    ConvCase{2, 3, 6, 5, 3, 3, 0}));
+
+// ------------------------------------------------------ vector ops
+
+TEST(Functional, VectorRelu)
+{
+    Tensor t({4});
+    t[0] = -1;
+    t[1] = 0;
+    t[2] = 2;
+    t[3] = -0.5f;
+    const Tensor r = fn::vectorRelu(t);
+    EXPECT_EQ(r[0], 0.0f);
+    EXPECT_EQ(r[2], 2.0f);
+    EXPECT_EQ(r[3], 0.0f);
+}
+
+TEST(Functional, VectorAdd)
+{
+    Tensor a({3}), b({3});
+    a[0] = 1;
+    b[0] = 2;
+    a[2] = -1;
+    b[2] = 1;
+    const Tensor c = fn::vectorAdd(a, b);
+    EXPECT_EQ(c[0], 3.0f);
+    EXPECT_EQ(c[2], 0.0f);
+}
+
+TEST(Functional, SoftmaxRowsSumToOne)
+{
+    Rng rng(5);
+    const Tensor in = Tensor::random({6, 10}, rng, 8.0f);
+    const Tensor out = fn::vectorSoftmax(in, 10);
+    for (std::size_t r = 0; r < 6; ++r) {
+        float sum = 0;
+        for (std::size_t c = 0; c < 10; ++c) {
+            sum += out.at2(r, c);
+            EXPECT_GE(out.at2(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Functional, SoftmaxIsStableForLargeInputs)
+{
+    Tensor in({1, 3});
+    in[0] = 1000.0f;
+    in[1] = 1001.0f;
+    in[2] = 999.0f;
+    const Tensor out = fn::vectorSoftmax(in, 3);
+    EXPECT_FALSE(std::isnan(out[0]));
+    EXPECT_GT(out[1], out[0]);
+    EXPECT_GT(out[0], out[2]);
+}
+
+TEST(Functional, ScaleShift)
+{
+    Tensor in({2});
+    in[0] = 1;
+    in[1] = -2;
+    const Tensor out = fn::vectorScaleShift(in, 2.0f, 1.0f);
+    EXPECT_EQ(out[0], 3.0f);
+    EXPECT_EQ(out[1], -3.0f);
+}
+
+TEST(Functional, FusedConvBnReluComposes)
+{
+    // conv -> scale/shift -> relu through the functional units gives
+    // the same result as doing it by hand on the reference conv.
+    const Layer conv = Layer::conv2d("c", 1, 2, 6, 6, 3, 3, 1, 1);
+    Rng rng(6);
+    const Tensor input = Tensor::random({1, 2, 6, 6}, rng);
+    const Tensor weights = Tensor::random({3, 2, 3, 3}, rng);
+    const Tensor fused = fn::vectorRelu(fn::vectorScaleShift(
+        fn::conv2dViaCube(input, weights, conv), 0.5f, 0.1f));
+    Tensor manual = fn::referenceConv2d(input, weights, conv);
+    for (float &v : manual.data())
+        v = std::max(v * 0.5f + 0.1f, 0.0f);
+    EXPECT_LT(fused.maxAbsDiff(manual), 0.05f);
+}
+
+} // anonymous namespace
+} // namespace ascend

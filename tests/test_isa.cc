@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: instruction representation, program
+ * builder, flag balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace ascend {
+namespace isa {
+namespace {
+
+TEST(Instr, StaysCompact)
+{
+    EXPECT_LE(sizeof(Instr), 80u);
+}
+
+TEST(Instr, PipeNames)
+{
+    EXPECT_STREQ(toString(Pipe::Scalar), "scalar");
+    EXPECT_STREQ(toString(Pipe::Cube), "cube");
+    EXPECT_STREQ(toString(Pipe::Vector), "vector");
+    EXPECT_STREQ(toString(Pipe::Mte1), "mte1");
+    EXPECT_STREQ(toString(Pipe::Mte2), "mte2");
+    EXPECT_STREQ(toString(Pipe::Mte3), "mte3");
+}
+
+TEST(Instr, BusNames)
+{
+    EXPECT_STREQ(toString(Bus::L1Read), "l1Read");
+    EXPECT_STREQ(toString(Bus::ExtB), "extB");
+    EXPECT_STREQ(toString(Bus::ExtOut), "extOut");
+}
+
+TEST(Program, ExecRecordsFields)
+{
+    Program p("test");
+    p.exec(Pipe::Cube, 100, 2048, {{Bus::L1Read, 64}}, "gemm");
+    ASSERT_EQ(p.size(), 1u);
+    const Instr &i = p.instrs()[0];
+    EXPECT_EQ(i.op, Opcode::Exec);
+    EXPECT_EQ(i.pipe, Pipe::Cube);
+    EXPECT_EQ(i.cycles, 100u);
+    EXPECT_EQ(i.flops, 2048u);
+    EXPECT_EQ(i.numBusUses, 1u);
+    EXPECT_EQ(i.busUses[0].bus, Bus::L1Read);
+    EXPECT_EQ(i.busUses[0].bytes, 64u);
+    EXPECT_STREQ(i.tag, "gemm");
+}
+
+TEST(Program, MultipleBusUses)
+{
+    Program p;
+    p.exec(Pipe::Mte2, 10, 0,
+           {{Bus::ExtA, 1}, {Bus::L1Write, 2}, {Bus::UbWrite, 3}});
+    EXPECT_EQ(p.instrs()[0].numBusUses, 3u);
+}
+
+TEST(ProgramDeath, TooManyBusUsesPanics)
+{
+    Program p("over");
+    EXPECT_DEATH(p.exec(Pipe::Mte2, 1, 0,
+                        {{Bus::ExtA, 1},
+                         {Bus::L1Write, 1},
+                         {Bus::UbWrite, 1},
+                         {Bus::UbRead, 1}}),
+                 "bus uses");
+}
+
+TEST(Program, FlagInstructions)
+{
+    Program p;
+    p.setFlag(Pipe::Mte1, 3);
+    p.waitFlag(Pipe::Cube, 3);
+    EXPECT_EQ(p.instrs()[0].op, Opcode::SetFlag);
+    EXPECT_EQ(p.instrs()[0].flagId, 3u);
+    EXPECT_EQ(p.instrs()[1].op, Opcode::WaitFlag);
+    EXPECT_EQ(p.instrs()[1].pipe, Pipe::Cube);
+}
+
+TEST(Program, BarrierGoesToScalarPipe)
+{
+    Program p;
+    p.barrier();
+    EXPECT_EQ(p.instrs()[0].op, Opcode::Barrier);
+    EXPECT_EQ(p.instrs()[0].pipe, Pipe::Scalar);
+}
+
+TEST(Program, FlagBalanceCountsSetsMinusWaits)
+{
+    Program p;
+    p.setFlag(Pipe::Mte1, 1);
+    p.setFlag(Pipe::Mte1, 1);
+    p.waitFlag(Pipe::Cube, 1);
+    p.setFlag(Pipe::Cube, 2);
+    const auto balance = p.flagBalance();
+    EXPECT_EQ(balance[1], 1);
+    EXPECT_EQ(balance[2], 1);
+    EXPECT_EQ(balance[0], 0);
+}
+
+TEST(Program, AppendConcatenates)
+{
+    Program a("a"), b("b");
+    a.exec(Pipe::Cube, 1);
+    b.exec(Pipe::Vector, 2);
+    b.setFlag(Pipe::Vector, 9);
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.instrs()[1].pipe, Pipe::Vector);
+    EXPECT_EQ(a.name(), "a");
+}
+
+TEST(Program, EmptyAndName)
+{
+    Program p;
+    EXPECT_TRUE(p.empty());
+    p.setName("renamed");
+    EXPECT_EQ(p.name(), "renamed");
+    p.exec(Pipe::Scalar, 1);
+    EXPECT_FALSE(p.empty());
+}
+
+} // anonymous namespace
+} // namespace isa
+} // namespace ascend

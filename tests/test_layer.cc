@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the layer IR: geometry, FLOP and volume formulas,
+ * GEMM lowering, and traffic overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/layer.hh"
+
+namespace ascend {
+namespace model {
+namespace {
+
+TEST(Layer, ConvGeometry)
+{
+    const Layer c = Layer::conv2d("c", 1, 3, 224, 224, 64, 7, 2, 3);
+    EXPECT_EQ(c.outH(), 112u);
+    EXPECT_EQ(c.outW(), 112u);
+    const Layer s1 = Layer::conv2d("s", 1, 8, 56, 56, 8, 3, 1, 1);
+    EXPECT_EQ(s1.outH(), 56u);
+    const Layer nopad = Layer::conv2d("n", 1, 8, 56, 56, 8, 1, 1, 0);
+    EXPECT_EQ(nopad.outH(), 56u);
+}
+
+TEST(Layer, ConvLowersToIm2colGemm)
+{
+    const Layer c = Layer::conv2d("c", 2, 16, 28, 28, 32, 3, 1, 1);
+    std::uint64_t m, k, n;
+    c.lowerToGemm(m, k, n);
+    EXPECT_EQ(m, 2u * 28 * 28);
+    EXPECT_EQ(k, 16u * 9);
+    EXPECT_EQ(n, 32u);
+}
+
+TEST(Layer, ConvFlopsMatchHandComputation)
+{
+    // conv1 of ResNet50 at b=1: 2 * 112*112*64 * 3*49 MACs.
+    const Layer c = Layer::conv2d("c", 1, 3, 224, 224, 64, 7, 2, 3);
+    EXPECT_EQ(c.flops(), 2ull * 112 * 112 * 64 * 3 * 49);
+}
+
+TEST(Layer, DepthwiseFlops)
+{
+    const Layer d = Layer::depthwiseConv2d("d", 1, 32, 112, 112, 3, 1, 1);
+    EXPECT_EQ(d.flops(), 2ull * 32 * 112 * 112 * 9);
+    EXPECT_FALSE(d.isCubeLayer());
+}
+
+TEST(Layer, LinearVolumes)
+{
+    const Layer l = Layer::linear("fc", 8, 2048, 1000);
+    EXPECT_EQ(l.flops(), 2ull * 8 * 2048 * 1000);
+    EXPECT_EQ(l.inputBytes(), 8u * 2048 * 2);
+    EXPECT_EQ(l.weightBytes(), 2048u * 1000 * 2);
+    EXPECT_EQ(l.outputBytes(), 8u * 1000 * 2);
+    EXPECT_TRUE(l.isCubeLayer());
+}
+
+TEST(Layer, BatchedMatmulScalesByCount)
+{
+    const Layer b = Layer::batchedMatmul("bmm", 16, 128, 64, 128);
+    EXPECT_EQ(b.flops(), 16ull * 2 * 128 * 64 * 128);
+    EXPECT_EQ(b.inputBytes(), 16ull * 128 * 64 * 2);
+    EXPECT_EQ(b.weightBytes(), 16ull * 64 * 128 * 2);
+}
+
+TEST(Layer, Int8HalvesVolumes)
+{
+    const Layer l = Layer::linear("fc", 8, 64, 64, DataType::Int8);
+    EXPECT_EQ(l.inputBytes(), 8u * 64);
+    const Layer f = Layer::linear("fc", 8, 64, 64, DataType::Fp16);
+    EXPECT_EQ(f.inputBytes(), 2 * l.inputBytes());
+}
+
+TEST(Layer, PoolVolumesAndFlops)
+{
+    const Layer p = Layer::pool2d("p", 1, 64, 112, 112, 2, 2);
+    EXPECT_EQ(p.outH(), 56u);
+    EXPECT_EQ(p.flops(), 1ull * 64 * 56 * 56 * 4);
+    EXPECT_FALSE(p.isCubeLayer());
+}
+
+TEST(Layer, NormAndActivationVolumes)
+{
+    const Layer bn = Layer::batchNorm("bn", 1000);
+    EXPECT_EQ(bn.flops(), 1000u);
+    EXPECT_EQ(bn.inputBytes(), 2000u);
+    const Layer ln = Layer::layerNorm("ln", 10, 128);
+    EXPECT_EQ(ln.elems, 1280u);
+    EXPECT_EQ(ln.rowLen, 128u);
+    EXPECT_EQ(ln.flops(), 4u * 1280);
+    const Layer sm = Layer::softmax("sm", 4, 512);
+    EXPECT_EQ(sm.elems, 2048u);
+    const Layer act = Layer::activation("a", 100, ActKind::Gelu);
+    EXPECT_EQ(act.flops(), 100u);
+}
+
+TEST(Layer, ElementwiseHasNoWeights)
+{
+    const Layer e = Layer::elementwise("add", 4096);
+    EXPECT_EQ(e.weightBytes(), 0u);
+    EXPECT_EQ(e.inputBytes(), e.outputBytes());
+}
+
+TEST(Layer, OverridesReplaceVolumes)
+{
+    Layer l = Layer::batchedMatmul("dW", 1, 576, 12544, 64);
+    const Bytes logical_in = l.inputBytes();
+    l.inputBytesOverride = 1234;
+    EXPECT_EQ(l.inputBytes(), 1234u);
+    EXPECT_LT(l.inputBytes(), logical_in);
+    l.outputBytesOverride = 99;
+    EXPECT_EQ(l.outputBytes(), 99u);
+}
+
+TEST(LayerDeath, LowerToGemmOnVectorLayerPanics)
+{
+    const Layer bn = Layer::batchNorm("bn", 10);
+    std::uint64_t m, k, n;
+    EXPECT_DEATH(bn.lowerToGemm(m, k, n), "non-GEMM");
+}
+
+TEST(Layer, KindNames)
+{
+    EXPECT_STREQ(toString(LayerKind::Conv2d), "conv2d");
+    EXPECT_STREQ(toString(LayerKind::DepthwiseConv2d), "dwconv2d");
+    EXPECT_STREQ(toString(LayerKind::Softmax), "softmax");
+}
+
+/** Batch scales m but not weights, for every conv kernel size. */
+class ConvBatchScaling : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ConvBatchScaling, MScalesWeightsDoNot)
+{
+    const unsigned kernel = GetParam();
+    const Layer b1 = Layer::conv2d("c", 1, 16, 56, 56, 32, kernel, 1,
+                                   kernel / 2);
+    const Layer b4 = Layer::conv2d("c", 4, 16, 56, 56, 32, kernel, 1,
+                                   kernel / 2);
+    std::uint64_t m1, k1, n1, m4, k4, n4;
+    b1.lowerToGemm(m1, k1, n1);
+    b4.lowerToGemm(m4, k4, n4);
+    EXPECT_EQ(m4, 4 * m1);
+    EXPECT_EQ(k4, k1);
+    EXPECT_EQ(n4, n1);
+    EXPECT_EQ(b1.weightBytes(), b4.weightBytes());
+    EXPECT_EQ(b4.flops(), 4 * b1.flops());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ConvBatchScaling,
+                         testing::Values(1u, 3u, 5u, 7u));
+
+} // anonymous namespace
+} // namespace model
+} // namespace ascend

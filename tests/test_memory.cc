@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the memory substrate: DRAM service model and the
+ * set-associative LLC with MPAM partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/dram.hh"
+#include "memory/llc.hh"
+
+namespace ascend {
+namespace memory {
+namespace {
+
+TEST(Dram, ServiceTimeIsLatencyPlusTransfer)
+{
+    DramModel hbm(DramConfig{"hbm", 1e12, 100e-9});
+    EXPECT_NEAR(hbm.serviceTime(0), 100e-9, 1e-12);
+    EXPECT_NEAR(hbm.serviceTime(1000000), 100e-9 + 1e-6, 1e-12);
+    EXPECT_NEAR(hbm.streamTime(2000000), 2e-6, 1e-12);
+}
+
+TEST(Dram, AccountingAccumulates)
+{
+    DramModel d(DramConfig{"d", 1e9, 0});
+    d.recordAccess(500);
+    d.recordAccess(500);
+    EXPECT_EQ(d.totalBytes(), 1000u);
+    EXPECT_NEAR(d.busyTime(), 1e-6, 1e-12);
+    d.reset();
+    EXPECT_EQ(d.totalBytes(), 0u);
+}
+
+TEST(Dram, PublishedDevices)
+{
+    EXPECT_NEAR(hbm2Ascend910().bandwidthBytesPerSec, 1.2e12, 1e9);
+    EXPECT_NEAR(lpddr4xMobile().bandwidthBytesPerSec, 34e9, 1e8);
+    EXPECT_GT(ddrAutomotive().bandwidthBytesPerSec,
+              ddrIot().bandwidthBytesPerSec);
+}
+
+LlcConfig
+smallCache()
+{
+    // 16 sets x 4 ways x 64 B lines = 4 KiB.
+    return LlcConfig{4 * kKiB, 4, 64, 1};
+}
+
+TEST(Llc, GeometryDerivation)
+{
+    Llc llc(smallCache());
+    EXPECT_EQ(llc.numSets(), 16u);
+}
+
+TEST(Llc, FirstAccessMissesSecondHits)
+{
+    Llc llc(smallCache());
+    EXPECT_FALSE(llc.access(0x1000));
+    EXPECT_TRUE(llc.access(0x1000));
+    EXPECT_TRUE(llc.access(0x1001)); // same line
+    EXPECT_FALSE(llc.access(0x1040)); // next line
+    EXPECT_EQ(llc.partStats(0).hits, 2u);
+    EXPECT_EQ(llc.partStats(0).misses, 2u);
+}
+
+TEST(Llc, LruEvictsOldestWay)
+{
+    Llc llc(smallCache());
+    // Fill one set (stride = sets * line = 1024 bytes) beyond its
+    // 4 ways.
+    const std::uint64_t stride = 16 * 64;
+    for (int i = 0; i < 4; ++i)
+        llc.access(i * stride);
+    EXPECT_TRUE(llc.access(0)); // all resident
+    // Insert a fifth: evicts the LRU line (which is 1*stride, since
+    // line 0 was just touched).
+    llc.access(4 * stride);
+    EXPECT_TRUE(llc.access(0));
+    EXPECT_FALSE(llc.access(1 * stride));
+}
+
+TEST(Llc, WorkingSetWithinCapacityHitsOnSecondPass)
+{
+    Llc llc(LlcConfig{1 * kMiB, 16, 4096, 1});
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 512 * kKiB; a += 4096)
+            llc.access(a);
+    // Second pass should be all hits.
+    EXPECT_EQ(llc.partStats(0).hits, 128u);
+    EXPECT_EQ(llc.partStats(0).misses, 128u);
+}
+
+TEST(Llc, StreamBeyondCapacityThrashes)
+{
+    Llc llc(LlcConfig{1 * kMiB, 16, 4096, 1});
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 4 * kMiB; a += 4096)
+            llc.access(a);
+    // Cyclic stream at 4x capacity under LRU: zero hits.
+    EXPECT_EQ(llc.partStats(0).hits, 0u);
+}
+
+TEST(Llc, HitRateMonotonicInCapacity)
+{
+    double prev = -1;
+    for (Bytes cap : {256 * kKiB, 512 * kKiB, 1 * kMiB, 2 * kMiB}) {
+        Llc llc(LlcConfig{cap, 16, 4096, 1});
+        for (int pass = 0; pass < 3; ++pass)
+            for (std::uint64_t a = 0; a < 1536 * kKiB; a += 4096)
+                llc.access(a);
+        const double rate = llc.partStats(0).hitRate();
+        EXPECT_GE(rate, prev);
+        prev = rate;
+    }
+    EXPECT_GT(prev, 0.5); // largest capacity holds the whole set
+}
+
+TEST(Llc, MpamProtectsCriticalPartition)
+{
+    LlcConfig cfg{1 * kMiB, 16, 4096, 2};
+    Llc llc(cfg);
+    llc.setPartitionRange(0, 0, 4);   // critical: 4 ways
+    llc.setPartitionRange(1, 4, 12);  // bulk: the rest
+    // Warm the critical working set (128 KiB = fits 4/16 of 1 MiB).
+    for (std::uint64_t a = 0; a < 128 * kKiB; a += 4096)
+        llc.access(a, 0);
+    // Massive bulk streaming cannot evict it.
+    for (std::uint64_t a = 1 << 30; a < (1 << 30) + 64 * kMiB; a += 4096)
+        llc.access(a, 1);
+    llc.resetStats();
+    for (std::uint64_t a = 0; a < 128 * kKiB; a += 4096)
+        llc.access(a, 0);
+    EXPECT_DOUBLE_EQ(llc.partStats(0).hitRate(), 1.0);
+}
+
+TEST(Llc, WithoutMpamStreamingEvictsEverything)
+{
+    LlcConfig cfg{1 * kMiB, 16, 4096, 2};
+    Llc llc(cfg); // both partitions use all ways
+    for (std::uint64_t a = 0; a < 128 * kKiB; a += 4096)
+        llc.access(a, 0);
+    for (std::uint64_t a = 1 << 30; a < (1 << 30) + 64 * kMiB; a += 4096)
+        llc.access(a, 1);
+    llc.resetStats();
+    for (std::uint64_t a = 0; a < 128 * kKiB; a += 4096)
+        llc.access(a, 0);
+    EXPECT_DOUBLE_EQ(llc.partStats(0).hitRate(), 0.0);
+}
+
+TEST(Llc, HitsAreGlobalAllocationIsPartitioned)
+{
+    // MPAM restricts allocation, not lookup: partition 1 can hit a
+    // line allocated by partition 0.
+    LlcConfig cfg{1 * kMiB, 16, 4096, 2};
+    Llc llc(cfg);
+    llc.setPartitionRange(0, 0, 8);
+    llc.setPartitionRange(1, 8, 8);
+    llc.access(0x0, 0);
+    EXPECT_TRUE(llc.access(0x0, 1));
+}
+
+TEST(LlcDeath, BadPartitionOrRangeIsFatal)
+{
+    LlcConfig cfg{1 * kMiB, 16, 4096, 2};
+    Llc llc(cfg);
+    EXPECT_EXIT(llc.access(0, 5), testing::ExitedWithCode(1),
+                "partition");
+    EXPECT_EXIT(llc.setPartitionRange(0, 10, 10),
+                testing::ExitedWithCode(1), "way range");
+}
+
+TEST(Llc, ResetStatsClearsCounters)
+{
+    Llc llc(smallCache());
+    llc.access(0);
+    llc.resetStats();
+    EXPECT_EQ(llc.partStats(0).accesses(), 0u);
+}
+
+/** Parameterized associativity sweep: loop fits -> full hits. */
+class LlcWays : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LlcWays, LoopWithinOneSetHitsIfItFitsWays)
+{
+    const unsigned ways = GetParam();
+    Llc llc(LlcConfig{Bytes(16) * 64 * ways, ways, 64, 1});
+    const std::uint64_t stride = llc.numSets() * 64;
+    // Touch exactly `ways` conflicting lines repeatedly.
+    for (int pass = 0; pass < 4; ++pass)
+        for (unsigned i = 0; i < ways; ++i)
+            llc.access(i * stride);
+    // Only the first pass misses.
+    EXPECT_EQ(llc.partStats(0).misses, ways);
+    EXPECT_EQ(llc.partStats(0).hits, 3u * ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, LlcWays,
+                         testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // anonymous namespace
+} // namespace memory
+} // namespace ascend

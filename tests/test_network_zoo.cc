@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the network container, the backward expansion, and the
+ * model zoo: layer counts, total FLOPs and parameter volumes must
+ * match the published figures for each architecture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.hh"
+
+namespace ascend {
+namespace model {
+namespace {
+
+TEST(Network, TotalsAccumulate)
+{
+    Network net;
+    net.add(Layer::linear("a", 2, 3, 4));
+    net.add(Layer::elementwise("e", 100));
+    EXPECT_EQ(net.size(), 2u);
+    EXPECT_EQ(net.totalFlops(), 2ull * 2 * 3 * 4 + 100);
+    EXPECT_EQ(net.totalWeightBytes(), 3u * 4 * 2);
+    EXPECT_GE(net.maxActivationBytes(), 200u);
+}
+
+TEST(Backward, GemmExpandsToDxDwUpdate)
+{
+    const Layer fwd = Layer::linear("fc", 32, 256, 512);
+    const auto bwd = backwardLayers(fwd);
+    ASSERT_EQ(bwd.size(), 3u);
+    std::uint64_t m, k, n;
+    bwd[0].lowerToGemm(m, k, n); // dX = dY * W^T
+    EXPECT_EQ(m, 32u);
+    EXPECT_EQ(k, 512u);
+    EXPECT_EQ(n, 256u);
+    bwd[1].lowerToGemm(m, k, n); // dW = X^T * dY
+    EXPECT_EQ(m, 256u);
+    EXPECT_EQ(k, 32u);
+    EXPECT_EQ(n, 512u);
+    EXPECT_EQ(bwd[2].kind, LayerKind::Elementwise);
+    EXPECT_EQ(bwd[2].elems, 256u * 512);
+    // Backward GEMM FLOPs are exactly 2x forward.
+    EXPECT_EQ(bwd[0].flops() + bwd[1].flops(), 2 * fwd.flops());
+}
+
+TEST(Backward, ConvBackwardCarriesRawOverrides)
+{
+    const Layer fwd = Layer::conv2d("c", 2, 64, 56, 56, 64, 3, 1, 1);
+    const auto bwd = backwardLayers(fwd);
+    ASSERT_GE(bwd.size(), 2u);
+    // dX output and dW input collapse to the raw activation volume.
+    EXPECT_EQ(bwd[0].outputBytes(), fwd.inputBytes());
+    EXPECT_EQ(bwd[1].inputBytes(), fwd.inputBytes());
+    // Without the override these would be 9x larger (im2col).
+    EXPECT_LT(9 * bwd[1].inputBytes(),
+              10 * bytesOf(fwd.dtype, 2ull * 56 * 56 * 64 * 9));
+}
+
+TEST(Backward, VectorLayersExpandToVectorWork)
+{
+    EXPECT_EQ(backwardLayers(Layer::batchNorm("bn", 100)).size(), 2u);
+    EXPECT_EQ(backwardLayers(Layer::softmax("s", 2, 8)).size(), 1u);
+    EXPECT_EQ(backwardLayers(Layer::elementwise("e", 5)).size(), 1u);
+    EXPECT_EQ(
+        backwardLayers(Layer::pool2d("p", 1, 8, 8, 8, 2, 2)).size(), 1u);
+    const auto dw = backwardLayers(
+        Layer::depthwiseConv2d("d", 1, 8, 16, 16, 3, 1, 1));
+    EXPECT_EQ(dw.size(), 3u);
+    EXPECT_EQ(dw[0].kind, LayerKind::DepthwiseConv2d);
+}
+
+TEST(Backward, TrainingStepsCoverEveryLayer)
+{
+    const Network net = zoo::mobilenetV2(1);
+    const auto steps = trainingSteps(net);
+    EXPECT_EQ(steps.size(), net.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        EXPECT_EQ(steps[i].fwd.name, net.layers[i].name);
+        EXPECT_FALSE(steps[i].bwd.empty());
+    }
+}
+
+TEST(Zoo, Resnet50Shape)
+{
+    const Network net = zoo::resnet50(1);
+    // 53 convolutions (incl. downsamples), the FC, pools and the
+    // vector layers in between.
+    unsigned convs = 0;
+    for (const Layer &l : net.layers)
+        if (l.kind == LayerKind::Conv2d)
+            ++convs;
+    EXPECT_EQ(convs, 53u);
+    // Published: ~4.1 GMACs = ~8.2 GFLOPs forward.
+    EXPECT_NEAR(double(net.totalFlops()), 8.2e9, 1.0e9);
+    // Published: ~25.5 M parameters.
+    EXPECT_NEAR(double(net.totalWeightBytes()) / 2, 25.5e6, 2e6);
+}
+
+TEST(Zoo, Resnet50SpatialChainEndsAt7x7)
+{
+    const Network net = zoo::resnet50(1);
+    const Layer *last_conv = nullptr;
+    for (const Layer &l : net.layers)
+        if (l.kind == LayerKind::Conv2d)
+            last_conv = &l;
+    ASSERT_NE(last_conv, nullptr);
+    EXPECT_EQ(last_conv->outH(), 7u);
+    EXPECT_EQ(last_conv->outC, 2048u);
+}
+
+TEST(Zoo, MobilenetV2Shape)
+{
+    const Network net = zoo::mobilenetV2(1);
+    unsigned dw = 0;
+    for (const Layer &l : net.layers)
+        if (l.kind == LayerKind::DepthwiseConv2d)
+            ++dw;
+    EXPECT_EQ(dw, 17u); // one per inverted-residual block
+    // Published: ~300 MMACs = ~0.6 GFLOPs.
+    EXPECT_NEAR(double(net.totalFlops()), 0.62e9, 0.12e9);
+    // Published: ~3.5 M parameters.
+    EXPECT_NEAR(double(net.totalWeightBytes()) / 2, 3.5e6, 0.7e6);
+}
+
+TEST(Zoo, Vgg16Shape)
+{
+    const Network net = zoo::vgg16(1);
+    unsigned convs = 0;
+    for (const Layer &l : net.layers)
+        if (l.kind == LayerKind::Conv2d)
+            ++convs;
+    EXPECT_EQ(convs, 13u);
+    // Published: ~15.5 GMACs = ~31 GFLOPs.
+    EXPECT_NEAR(double(net.totalFlops()), 31e9, 2e9);
+    // Published: ~138 M parameters.
+    EXPECT_NEAR(double(net.totalWeightBytes()) / 2, 138e6, 8e6);
+}
+
+TEST(Zoo, BertLargeShape)
+{
+    const Network net = zoo::bertLarge(1, 384);
+    // Encoder-side parameters (~12.6 M per layer x 24).
+    EXPECT_NEAR(double(net.parameterBytes()) / 2, 3.03e8, 0.2e8);
+    unsigned softmaxes = 0;
+    for (const Layer &l : net.layers)
+        if (l.kind == LayerKind::Softmax)
+            ++softmaxes;
+    EXPECT_EQ(softmaxes, 24u);
+    // Forward FLOPs for seq 384 are in the tens of GFLOPs.
+    EXPECT_GT(net.totalFlops(), 5e10);
+}
+
+TEST(Zoo, BertBaseIsSmallerThanLarge)
+{
+    const Network base = zoo::bertBase(1, 128);
+    const Network large = zoo::bertLarge(1, 128);
+    EXPECT_LT(base.totalWeightBytes(), large.totalWeightBytes());
+    EXPECT_LT(base.totalFlops(), large.totalFlops());
+}
+
+TEST(Zoo, BertBatchScalesTokens)
+{
+    const Network b1 = zoo::bertLarge(1, 128);
+    const Network b4 = zoo::bertLarge(4, 128);
+    EXPECT_NEAR(double(b4.totalFlops()), 4.0 * double(b1.totalFlops()),
+                0.05 * double(b4.totalFlops()));
+    // True parameters are batch-invariant; attention K/V operands
+    // (counted by totalWeightBytes) are not.
+    EXPECT_EQ(b1.parameterBytes(), b4.parameterBytes());
+    EXPECT_LT(b1.totalWeightBytes(), b4.totalWeightBytes());
+}
+
+TEST(Zoo, GestureNetIsInt8AndTiny)
+{
+    const Network net = zoo::gestureNet(1);
+    for (const Layer &l : net.layers)
+        EXPECT_EQ(l.dtype, DataType::Int8) << l.name;
+    EXPECT_LT(net.totalFlops(), 50e6);   // always-on budget
+    EXPECT_LT(net.totalWeightBytes(), 200 * kKiB);
+}
+
+TEST(Zoo, AllNetworksHavePositiveVolumesEverywhere)
+{
+    for (const Network &net :
+         {zoo::resnet50(2), zoo::mobilenetV2(2), zoo::vgg16(1),
+          zoo::bertBase(1, 64), zoo::gestureNet(2)}) {
+        for (const Layer &l : net.layers) {
+            EXPECT_GT(l.flops(), 0u) << net.name << ":" << l.name;
+            EXPECT_GT(l.inputBytes(), 0u) << net.name << ":" << l.name;
+            EXPECT_GT(l.outputBytes(), 0u) << net.name << ":" << l.name;
+        }
+    }
+}
+
+TEST(ZooDeath, ZeroBatchIsRejected)
+{
+    EXPECT_DEATH(zoo::resnet50(0), "batch");
+}
+
+/** Batch scaling property across the CNN zoo. */
+class ZooBatchScaling : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ZooBatchScaling, FlopsScaleLinearly)
+{
+    const unsigned b = GetParam();
+    const double one = double(zoo::resnet50(1).totalFlops());
+    const double many = double(zoo::resnet50(b).totalFlops());
+    EXPECT_NEAR(many, b * one, 0.01 * many);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, ZooBatchScaling,
+                         testing::Values(2u, 4u, 8u));
+
+} // anonymous namespace
+} // namespace model
+} // namespace ascend

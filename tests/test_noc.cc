@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the mesh NoC simulator: delivery, latency bounds,
+ * determinism, saturation behaviour, deflection invariants, QoS
+ * prioritization, and the ring model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+#include "noc/ring.hh"
+
+namespace ascend {
+namespace noc {
+namespace {
+
+/** Inject a fixed number of flits, then go quiet. */
+class BurstTraffic : public TrafficPattern
+{
+  public:
+    BurstTraffic(unsigned count_per_node, unsigned dst)
+        : remaining_(count_per_node), dst_(dst)
+    {}
+
+    bool
+    next(unsigned node, Rng &, unsigned &dst, std::uint8_t &priority)
+        override
+    {
+        if (node != 0 || used_ >= remaining_)
+            return false;
+        ++used_;
+        dst = dst_;
+        priority = 0;
+        return true;
+    }
+
+  private:
+    unsigned remaining_;
+    unsigned used_ = 0;
+    unsigned dst_;
+};
+
+TEST(Mesh, SingleFlitLatencyEqualsManhattanDistance)
+{
+    MeshConfig cfg;
+    cfg.rows = 6;
+    cfg.cols = 4;
+    MeshNoc mesh(cfg);
+    // Node 0 (r0,c0) -> node 23 (r5,c3): 8 hops.
+    BurstTraffic t(1, 23);
+    const auto s = mesh.run(t, 100);
+    EXPECT_EQ(s.delivered, 1u);
+    EXPECT_DOUBLE_EQ(s.avgHopCount, 8.0);
+    EXPECT_DOUBLE_EQ(s.avgLatencyCycles, 8.0);
+}
+
+TEST(Mesh, AllInjectedFlitsDeliveredAfterDrain)
+{
+    MeshConfig cfg;
+    MeshNoc mesh(cfg);
+    BurstTraffic t(50, 23);
+    const auto s = mesh.run(t, 2000);
+    EXPECT_EQ(s.injected, 50u);
+    EXPECT_EQ(s.delivered, 50u);
+}
+
+TEST(Mesh, UniformTrafficDeliversAtLowLoad)
+{
+    for (bool bufferless : {true, false}) {
+        MeshConfig cfg;
+        cfg.bufferless = bufferless;
+        MeshNoc mesh(cfg);
+        UniformTraffic t(0.05, mesh.nodes());
+        const auto s = mesh.run(t, 5000);
+        // Nearly everything injected should arrive.
+        EXPECT_GT(s.delivered, 0.95 * s.injected);
+        EXPECT_EQ(s.injectionStalls, 0u);
+        // Unloaded latency ~ average Manhattan distance (~3.3 hops).
+        EXPECT_LT(s.avgLatencyCycles, 8.0) << "bufferless="
+                                           << bufferless;
+    }
+}
+
+TEST(Mesh, ThroughputMonotonicBeforeSaturation)
+{
+    MeshConfig cfg;
+    MeshNoc mesh(cfg);
+    double prev = 0;
+    for (double rate : {0.05, 0.1, 0.2, 0.3}) {
+        UniformTraffic t(rate, mesh.nodes());
+        const auto s = mesh.run(t, 5000);
+        const double thr = s.throughputBytesPerCycle(cfg.flitBytes);
+        EXPECT_GT(thr, prev);
+        prev = thr;
+    }
+}
+
+TEST(Mesh, DeflectionInflatesHopsUnderLoad)
+{
+    MeshConfig cfg; // bufferless
+    MeshNoc mesh(cfg);
+    UniformTraffic low(0.05, mesh.nodes());
+    const auto s_low = mesh.run(low, 5000);
+    UniformTraffic high(0.45, mesh.nodes());
+    const auto s_high = mesh.run(high, 5000);
+    EXPECT_GT(s_high.avgHopCount, s_low.avgHopCount + 0.3);
+}
+
+TEST(Mesh, BufferedRoutesMinimallyEvenUnderLoad)
+{
+    MeshConfig cfg;
+    cfg.bufferless = false;
+    MeshNoc mesh(cfg);
+    UniformTraffic t(0.4, mesh.nodes());
+    const auto s = mesh.run(t, 5000);
+    // XY routing is minimal: hop count equals the distance average.
+    EXPECT_LT(s.avgHopCount, 3.6);
+}
+
+TEST(Mesh, DeterministicForSameSeed)
+{
+    MeshConfig cfg;
+    MeshNoc mesh(cfg);
+    UniformTraffic t1(0.3, mesh.nodes());
+    const auto a = mesh.run(t1, 3000, 42);
+    UniformTraffic t2(0.3, mesh.nodes());
+    const auto b = mesh.run(t2, 3000, 42);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_DOUBLE_EQ(a.avgLatencyCycles, b.avgLatencyCycles);
+}
+
+TEST(Mesh, LinkBandwidthMatchesPaper)
+{
+    MeshConfig cfg; // 1024-bit at 2 GHz
+    MeshNoc mesh(cfg);
+    EXPECT_NEAR(mesh.linkBandwidthBytesPerSec(), 256e9, 1e6);
+}
+
+TEST(Mesh, PriorityTrafficKeepsLowLatencyUnderBulkLoad)
+{
+    MeshConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    MeshNoc mesh(cfg);
+    MixedPriorityTraffic t(0.5, 0.05, 4, mesh.nodes());
+    mesh.run(t, 10000);
+    EXPECT_GT(mesh.avgLatency(0), 0.0);
+    EXPECT_GT(mesh.avgLatency(1), 0.0);
+    // Critical flits should not be slower than bulk at this load.
+    EXPECT_LE(mesh.avgLatency(1), mesh.avgLatency(0) + 1.0);
+}
+
+TEST(Mesh, NearestSliceTrafficTravelsFewHops)
+{
+    MeshConfig cfg;
+    MeshNoc mesh(cfg);
+    std::vector<unsigned> slices = {5, 6, 9, 10, 13, 14, 17, 18};
+    NearestSliceTraffic t(0.2, slices, cfg.cols);
+    const auto s = mesh.run(t, 5000);
+    EXPECT_LT(s.avgHopCount, 2.2);
+    EXPECT_GT(s.delivered, 0u);
+}
+
+TEST(Mesh, HotspotSaturatesBelowUniform)
+{
+    MeshConfig cfg;
+    MeshNoc mesh(cfg);
+    UniformTraffic u(0.8, mesh.nodes());
+    const auto su = mesh.run(u, 5000);
+    HotspotTraffic h(0.8, {0}); // single corner hotspot
+    const auto sh = mesh.run(h, 5000);
+    EXPECT_LT(sh.throughputBytesPerCycle(cfg.flitBytes),
+              su.throughputBytesPerCycle(cfg.flitBytes));
+}
+
+TEST(MeshDeath, EmptyMeshRejected)
+{
+    MeshConfig cfg;
+    cfg.rows = 0;
+    EXPECT_DEATH(MeshNoc{cfg}, "empty mesh");
+}
+
+TEST(Ring, ClosedFormProperties)
+{
+    RingModel ring(RingConfig{8, 64, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(ring.avgHops(), 2.0);
+    EXPECT_DOUBLE_EQ(ring.unloadedLatencyCycles(), 4.0);
+    // Loaded latency grows with utilization and blows up near 1.
+    EXPECT_GT(ring.loadedLatencyCycles(0.9), ring.loadedLatencyCycles(0.5));
+    EXPECT_GT(ring.loadedLatencyCycles(1.0), 1e12);
+    EXPECT_GT(ring.saturationBytesPerSecPerNode(), 0.0);
+}
+
+/** Parameterized mesh sizes: basic sanity on any geometry. */
+class MeshSizes
+    : public testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(MeshSizes, LowLoadDeliversEverywhere)
+{
+    MeshConfig cfg;
+    cfg.rows = GetParam().first;
+    cfg.cols = GetParam().second;
+    MeshNoc mesh(cfg);
+    UniformTraffic t(0.05, mesh.nodes());
+    const auto s = mesh.run(t, 4000);
+    EXPECT_GT(s.delivered, 0.9 * s.injected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, MeshSizes,
+                         testing::Values(std::make_pair(2u, 2u),
+                                         std::make_pair(1u, 8u),
+                                         std::make_pair(6u, 4u),
+                                         std::make_pair(8u, 8u)));
+
+} // anonymous namespace
+} // namespace noc
+} // namespace ascend

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the sparsity support: the ZVC size model, structured
+ * compute skipping, and their end-to-end effect through the compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/layer_compiler.hh"
+#include "core/core_sim.hh"
+#include "core/sparsity.hh"
+
+namespace ascend {
+namespace {
+
+using core::SparsityConfig;
+using core::Zvc;
+
+TEST(Zvc, DenseTensorPaysOnlyTheMask)
+{
+    const Bytes dense = 1 << 20;
+    const Bytes c = Zvc::compressedBytes(dense, DataType::Fp16, 1.0);
+    // fp16: mask is 1 bit per 16-bit element = 1/16 overhead.
+    EXPECT_EQ(c, dense + dense / 16);
+}
+
+TEST(Zvc, HalfDensityRoughlyHalves)
+{
+    const Bytes dense = 1 << 20;
+    const Bytes c = Zvc::compressedBytes(dense, DataType::Fp16, 0.5);
+    EXPECT_NEAR(double(c), dense * (0.5 + 1.0 / 16), dense * 0.01);
+}
+
+TEST(Zvc, EmptyTensorIsJustTheMask)
+{
+    const Bytes dense = 1 << 20;
+    EXPECT_EQ(Zvc::compressedBytes(dense, DataType::Fp16, 0.0),
+              dense / 16);
+}
+
+TEST(Zvc, RatioMonotonicInDensity)
+{
+    double prev = 0;
+    for (double d : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+        const double r = Zvc::ratio(DataType::Fp16, d);
+        EXPECT_GT(r, prev);
+        EXPECT_LE(r, 1.0 + 1.0 / 16 + 1e-9);
+        prev = r;
+    }
+}
+
+TEST(Zvc, Int8MaskOverheadIsLarger)
+{
+    // 1 bit per 8-bit element = 1/8 overhead.
+    EXPECT_GT(Zvc::ratio(DataType::Int8, 1.0),
+              Zvc::ratio(DataType::Fp16, 1.0));
+}
+
+TEST(Structured, ComputeScaleQuantizesToHardwareSteps)
+{
+    SparsityConfig s;
+    s.structured = true;
+    s.weightDensity = 0.5;
+    EXPECT_DOUBLE_EQ(core::structuredComputeScale(s), 0.5);
+    s.weightDensity = 0.25;
+    EXPECT_DOUBLE_EQ(core::structuredComputeScale(s), 0.25);
+    s.weightDensity = 0.7; // no 0.7 mode: runs dense
+    EXPECT_DOUBLE_EQ(core::structuredComputeScale(s), 1.0);
+    s.structured = false;
+    s.weightDensity = 0.25; // unstructured never skips compute
+    EXPECT_DOUBLE_EQ(core::structuredComputeScale(s), 1.0);
+}
+
+TEST(SparseCompile, WeightTrafficShrinksWithDensity)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Lite);
+    core::CoreSim sim(cfg);
+    const auto layer = model::Layer::linear("fc", 512, 1024, 1024);
+
+    auto ext_b = [&](double density) {
+        compiler::CompileOptions options;
+        options.sparsity.weightDensity = density;
+        compiler::LayerCompiler lc(cfg, options);
+        return sim.run(lc.compile(layer)).bus(isa::Bus::ExtB);
+    };
+    const Bytes dense = ext_b(1.0);
+    const Bytes half = ext_b(0.5);
+    const Bytes quarter = ext_b(0.25);
+    EXPECT_LT(half, dense);
+    EXPECT_LT(quarter, half);
+    EXPECT_NEAR(double(half) / dense, 0.56, 0.05);
+}
+
+TEST(SparseCompile, StructuredSparsityCutsCubeTime)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Lite);
+    core::CoreSim sim(cfg);
+    const auto layer = model::Layer::linear("fc", 512, 1024, 1024);
+
+    compiler::CompileOptions dense_opt;
+    compiler::LayerCompiler dense_lc(cfg, dense_opt);
+    const auto dense = sim.run(dense_lc.compile(layer));
+
+    compiler::CompileOptions sparse_opt;
+    sparse_opt.sparsity.weightDensity = 0.5;
+    sparse_opt.sparsity.structured = true;
+    compiler::LayerCompiler sparse_lc(cfg, sparse_opt);
+    const auto sparse = sim.run(sparse_lc.compile(layer));
+
+    EXPECT_LT(sparse.pipe(isa::Pipe::Cube).busyCycles,
+              0.6 * dense.pipe(isa::Pipe::Cube).busyCycles);
+}
+
+TEST(SparseCompile, UnstructuredSparsityKeepsCubeTime)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Lite);
+    core::CoreSim sim(cfg);
+    const auto layer = model::Layer::linear("fc", 256, 512, 512);
+
+    compiler::CompileOptions unstructured;
+    unstructured.sparsity.weightDensity = 0.5;
+    compiler::LayerCompiler lc(cfg, unstructured);
+    const auto sparse = sim.run(lc.compile(layer));
+
+    compiler::LayerCompiler dense_lc(cfg);
+    const auto dense = sim.run(dense_lc.compile(layer));
+    EXPECT_EQ(sparse.pipe(isa::Pipe::Cube).busyCycles,
+              dense.pipe(isa::Pipe::Cube).busyCycles);
+}
+
+/** Density sweep property: end-to-end cycles never grow as density
+ * falls (structured mode). */
+class DensitySweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(DensitySweep, SparserIsNeverSlower)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Lite);
+    core::CoreSim sim(cfg);
+    const auto layer = model::Layer::conv2d("c", 1, 64, 28, 28, 128,
+                                            3, 1, 1);
+    compiler::LayerCompiler dense_lc(cfg);
+    const Cycles dense = sim.run(dense_lc.compile(layer)).totalCycles;
+
+    compiler::CompileOptions options;
+    options.sparsity.weightDensity = GetParam();
+    options.sparsity.structured = true;
+    compiler::LayerCompiler lc(cfg, options);
+    const Cycles sparse = sim.run(lc.compile(layer)).totalCycles;
+    EXPECT_LE(sparse, dense + dense / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DensitySweep,
+                         testing::Values(0.25, 0.5, 0.75, 1.0));
+
+} // anonymous namespace
+} // namespace ascend

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the calibrated PPA model: Tables 3 and 4 must
+ * reproduce within tight tolerance, and the model must behave sanely
+ * away from the calibration points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/unit_model.hh"
+
+namespace ascend {
+namespace arch {
+namespace {
+
+TEST(UnitModel, Table3CubeAt7nm)
+{
+    const UnitPpa cube = modelCube({16, 16, 16}, 1.0, TechNode::N7);
+    EXPECT_NEAR(cube.peakFlops, 8.192e12, 1e9);
+    EXPECT_NEAR(cube.areaMm2, 2.57, 0.05);
+    EXPECT_NEAR(cube.powerW, 3.13, 0.10);
+    EXPECT_NEAR(cube.perfPerWatt() / 1e12, 2.56, 0.08);
+    EXPECT_NEAR(cube.perfPerArea() / 1e12, 3.11, 0.10);
+}
+
+TEST(UnitModel, Table3VectorAt7nm)
+{
+    const UnitPpa vec = modelVector(256, 1.0, TechNode::N7);
+    EXPECT_NEAR(vec.peakFlops, 256e9, 1e6);
+    EXPECT_NEAR(vec.areaMm2, 0.70, 0.02);
+    EXPECT_NEAR(vec.powerW, 0.46, 0.02);
+    EXPECT_NEAR(vec.perfPerWatt() / 1e12, 0.56, 0.02);
+}
+
+TEST(UnitModel, Table3Scalar)
+{
+    const UnitPpa sc = modelScalar(1.0, TechNode::N7);
+    EXPECT_NEAR(sc.peakFlops, 2e9, 1e6);
+    EXPECT_NEAR(sc.areaMm2, 0.04, 0.005);
+    EXPECT_EQ(sc.powerW, 0.0); // unmodelled per the paper
+}
+
+TEST(UnitModel, Table3CubeAdvantageIsOneOrder)
+{
+    const UnitPpa cube = modelCube({16, 16, 16}, 1.0, TechNode::N7);
+    const UnitPpa vec = modelVector(256, 1.0, TechNode::N7);
+    EXPECT_NEAR(cube.perfPerArea() / vec.perfPerArea(), 8.6, 1.0);
+    EXPECT_NEAR(cube.perfPerWatt() / vec.perfPerWatt(), 4.6, 0.3);
+}
+
+TEST(UnitModel, Table4AreasAt12nm)
+{
+    const UnitPpa small = modelCube({4, 4, 4}, 1.66, TechNode::N12);
+    const UnitPpa big = modelCube({16, 16, 16}, 1.0, TechNode::N12);
+    EXPECT_NEAR(8 * small.areaMm2, 5.2, 0.1);
+    EXPECT_NEAR(big.areaMm2, 13.2, 0.2);
+    EXPECT_NEAR(8 * small.peakFlops, 1.7e12, 0.05e12);
+    EXPECT_NEAR(big.peakFlops, 8.19e12, 0.05e12);
+}
+
+TEST(UnitModel, Table4DensityAdvantage)
+{
+    const UnitPpa small = modelCube({4, 4, 4}, 1.66, TechNode::N12);
+    const UnitPpa big = modelCube({16, 16, 16}, 1.0, TechNode::N12);
+    const double small_density =
+        8 * small.peakFlops / (8 * small.areaMm2) / 1e9;
+    const double big_density = big.peakFlops / big.areaMm2 / 1e9;
+    EXPECT_NEAR(small_density, 330, 20);
+    EXPECT_NEAR(big_density, 600, 40);
+    // Throughput grows 4.7x for 2.5x area (the paper's headline).
+    EXPECT_NEAR(big.peakFlops / (8 * small.peakFlops), 4.8, 0.3);
+    EXPECT_NEAR(big.areaMm2 / (8 * small.areaMm2), 2.5, 0.2);
+}
+
+TEST(UnitModel, AreaMonotonicInEveryDimension)
+{
+    const UnitPpa base = modelCube({16, 16, 16}, 1.0, TechNode::N7);
+    EXPECT_GT(modelCube({32, 16, 16}, 1.0, TechNode::N7).areaMm2,
+              base.areaMm2);
+    EXPECT_GT(modelCube({16, 32, 16}, 1.0, TechNode::N7).areaMm2,
+              base.areaMm2);
+    EXPECT_GT(modelCube({16, 16, 32}, 1.0, TechNode::N7).areaMm2,
+              base.areaMm2);
+}
+
+TEST(UnitModel, ReuseImprovesEnergyEfficiency)
+{
+    // Bigger n0 means more operand reuse and better perf/W.
+    const UnitPpa narrow = modelCube({16, 16, 4}, 1.0, TechNode::N7);
+    const UnitPpa wide = modelCube({16, 16, 32}, 1.0, TechNode::N7);
+    EXPECT_GT(wide.perfPerWatt(), narrow.perfPerWatt());
+    // And the cube always beats a vector lane (reuse 1).
+    const UnitPpa vec = modelVector(256, 1.0, TechNode::N7);
+    EXPECT_GT(narrow.perfPerWatt(), vec.perfPerWatt());
+}
+
+TEST(UnitModel, PerfScalesWithClock)
+{
+    const UnitPpa slow = modelCube({16, 16, 16}, 1.0, TechNode::N7);
+    const UnitPpa fast = modelCube({16, 16, 16}, 2.0, TechNode::N7);
+    EXPECT_NEAR(fast.peakFlops, 2 * slow.peakFlops, 1.0);
+    EXPECT_DOUBLE_EQ(fast.areaMm2, slow.areaMm2);
+    EXPECT_NEAR(fast.powerW, 2 * slow.powerW, 1e-9);
+}
+
+TEST(UnitModel, N12IsLessDenseThanN7)
+{
+    const UnitPpa n7 = modelCube({16, 16, 16}, 1.0, TechNode::N7);
+    const UnitPpa n12 = modelCube({16, 16, 16}, 1.0, TechNode::N12);
+    EXPECT_GT(n12.areaMm2, n7.areaMm2);
+}
+
+TEST(UnitModel, CoreAreaIncludesBuffers)
+{
+    const auto cfg = makeCoreConfig(CoreVersion::Max);
+    const double with = modelCoreAreaMm2(cfg, TechNode::N7);
+    auto small = cfg;
+    small.l1Bytes = 128 * kKiB;
+    EXPECT_GT(with, modelCoreAreaMm2(small, TechNode::N7));
+    // Max-class core should be a handful of mm^2.
+    EXPECT_GT(with, 3.0);
+    EXPECT_LT(with, 8.0);
+}
+
+TEST(UnitModel, SramDensityPerNode)
+{
+    EXPECT_LT(sramMm2PerMiB(TechNode::N7), sramMm2PerMiB(TechNode::N12));
+}
+
+TEST(UnitModel, TechNodeNames)
+{
+    EXPECT_STREQ(toString(TechNode::N7), "7nm");
+    EXPECT_STREQ(toString(TechNode::N12), "12nm");
+}
+
+} // anonymous namespace
+} // namespace arch
+} // namespace ascend

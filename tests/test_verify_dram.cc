@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the static program verifier / disassembler, the
+ * bank-aware DRAM timing model, the collective algorithm variants,
+ * and the graph-engine event dependencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/collective.hh"
+#include "common/rng.hh"
+#include "compiler/graph_engine.hh"
+#include "compiler/layer_compiler.hh"
+#include "isa/verify.hh"
+#include "memory/dram_timing.hh"
+
+namespace ascend {
+namespace {
+
+// ----------------------------------------------------------- verify
+
+TEST(Verify, CleanProgramPasses)
+{
+    isa::Program p;
+    p.setFlag(isa::Pipe::Mte1, 0);
+    p.waitFlag(isa::Pipe::Cube, 0);
+    p.exec(isa::Pipe::Cube, 10);
+    EXPECT_TRUE(isa::isWellFormed(p));
+}
+
+TEST(Verify, DetectsWaitWithoutSet)
+{
+    isa::Program p;
+    p.waitFlag(isa::Pipe::Cube, 7);
+    const auto issues = isa::verifyProgram(p);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].message.find("never set"), std::string::npos);
+}
+
+TEST(Verify, DetectsTokenUnderflow)
+{
+    isa::Program p;
+    p.setFlag(isa::Pipe::Mte1, 3);
+    p.waitFlag(isa::Pipe::Cube, 3);
+    p.waitFlag(isa::Pipe::Cube, 3);
+    const auto issues = isa::verifyProgram(p);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].message.find("2 waits"), std::string::npos);
+}
+
+TEST(Verify, DetectsSetAfterBarrier)
+{
+    isa::Program p;
+    p.waitFlag(isa::Pipe::Cube, 5);
+    p.barrier();
+    p.setFlag(isa::Pipe::Mte1, 5);
+    const auto issues = isa::verifyProgram(p);
+    ASSERT_FALSE(issues.empty());
+    bool found = false;
+    for (const auto &i : issues)
+        if (i.message.find("barrier") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Verify, SetBeforeBarrierIsFine)
+{
+    isa::Program p;
+    p.setFlag(isa::Pipe::Mte1, 5);
+    p.waitFlag(isa::Pipe::Cube, 5);
+    p.barrier();
+    p.setFlag(isa::Pipe::Mte1, 5);
+    p.waitFlag(isa::Pipe::Cube, 5);
+    EXPECT_TRUE(isa::isWellFormed(p));
+}
+
+TEST(Verify, CompiledProgramsAreAlwaysWellFormed)
+{
+    for (auto v : {arch::CoreVersion::Tiny, arch::CoreVersion::Lite,
+                   arch::CoreVersion::Max}) {
+        const auto cfg = arch::makeCoreConfig(v);
+        compiler::LayerCompiler lc(cfg);
+        const DataType dt = v == arch::CoreVersion::Tiny
+            ? DataType::Int8 : DataType::Fp16;
+        for (const auto &layer :
+             {model::Layer::linear("fc", 300, 300, 300, dt),
+              model::Layer::conv2d("c", 1, 16, 30, 30, 24, 3, 1, 1, dt),
+              model::Layer::softmax("s", 100, 100, dt)}) {
+            const auto prog = lc.compile(layer);
+            EXPECT_TRUE(isa::isWellFormed(prog))
+                << cfg.name << ":" << layer.name;
+        }
+    }
+}
+
+TEST(Verify, DisassemblyListsInstructions)
+{
+    isa::Program p("demo");
+    p.exec(isa::Pipe::Cube, 42, 0, {{isa::Bus::L1Read, 64}}, "mm");
+    p.setFlag(isa::Pipe::Cube, 1);
+    p.barrier();
+    const std::string text = isa::disassemble(p);
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("exec 42 cy"), std::string::npos);
+    EXPECT_NE(text.find("l1Read=64"), std::string::npos);
+    EXPECT_NE(text.find("set_flag 1"), std::string::npos);
+    EXPECT_NE(text.find("pipe_barrier"), std::string::npos);
+}
+
+TEST(Verify, DisassemblyTruncates)
+{
+    isa::Program p;
+    for (int i = 0; i < 100; ++i)
+        p.exec(isa::Pipe::Cube, 1);
+    const std::string text = isa::disassemble(p, 10);
+    EXPECT_NE(text.find("... 90 more"), std::string::npos);
+}
+
+// ------------------------------------------------------ dram timing
+
+TEST(DramTiming, RowHitIsFasterThanMiss)
+{
+    memory::DramTiming dram;
+    const auto miss = dram.access(0, 64, 0.0);
+    EXPECT_FALSE(miss.rowHit);
+    const auto hit = dram.access(64, 64, miss.completeNs);
+    EXPECT_TRUE(hit.rowHit);
+    EXPECT_LT(hit.latencyNs, miss.latencyNs);
+}
+
+TEST(DramTiming, StreamingHasHighRowHitRate)
+{
+    memory::DramTiming dram;
+    double now = 0;
+    for (std::uint64_t a = 0; a < 1 * kMiB; a += 64)
+        now = dram.access(a, 64, now).completeNs;
+    EXPECT_GT(dram.rowHitRate(), 0.9);
+}
+
+TEST(DramTiming, RandomAccessThrashesRows)
+{
+    memory::DramTiming dram;
+    Rng rng(11);
+    double now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng.uniform(1ull << 30) & ~63ull;
+        now = dram.access(a, 64, now).completeNs;
+    }
+    EXPECT_LT(dram.rowHitRate(), 0.2);
+}
+
+TEST(DramTiming, RandomLatencyExceedsStreamingLatency)
+{
+    memory::DramTiming stream_dram, random_dram;
+    double now = 0;
+    for (std::uint64_t a = 0; a < 256 * kKiB; a += 64)
+        now = stream_dram.access(a, 64, now).completeNs;
+    Rng rng(12);
+    now = 0;
+    for (int i = 0; i < 4096; ++i)
+        now = random_dram
+                  .access(rng.uniform(1ull << 30) & ~63ull, 64, now)
+                  .completeNs;
+    EXPECT_GT(random_dram.avgLatencyNs(), stream_dram.avgLatencyNs());
+}
+
+TEST(DramTiming, SameBankBackToBackRespectsTrc)
+{
+    memory::DramTimingConfig cfg;
+    memory::DramTiming dram(cfg);
+    // Two different rows in the same bank (stride = banks * rowBytes).
+    const std::uint64_t stride =
+        std::uint64_t(cfg.banks) * cfg.rowBytes;
+    const auto first = dram.access(0, 64, 0.0);
+    const auto second = dram.access(stride, 64, first.completeNs);
+    EXPECT_FALSE(second.rowHit);
+    EXPECT_GE(second.completeNs - 0.0, cfg.tRcNs);
+}
+
+TEST(DramTiming, ResetClearsState)
+{
+    memory::DramTiming dram;
+    dram.access(0, 64, 0.0);
+    dram.reset();
+    EXPECT_EQ(dram.accesses(), 0u);
+    EXPECT_DOUBLE_EQ(dram.rowHitRate(), 0.0);
+}
+
+// ---------------------------------------------------- collectives
+
+TEST(Collectives, TreeBeatsRingForTinyMessages)
+{
+    const unsigned n = 256;
+    const double bw = 12.5e9, lat = 5e-6;
+    EXPECT_LT(cluster::treeAllreduceSeconds(1024, n, bw, lat),
+              cluster::ringAllreduceSeconds(1024, n, bw, lat));
+}
+
+TEST(Collectives, RingMatchesHalvingDoublingBandwidthTerm)
+{
+    // Large message, no latency: both are bandwidth-optimal.
+    const Bytes big = 1ull << 30;
+    EXPECT_NEAR(cluster::ringAllreduceSeconds(big, 64, 1e10, 0),
+                cluster::halvingDoublingAllreduceSeconds(big, 64, 1e10, 0),
+                1e-9);
+}
+
+TEST(Collectives, HalvingDoublingWinsAtScaleWithLatency)
+{
+    const Bytes msg = 1 << 20;
+    const unsigned n = 1024;
+    EXPECT_LT(
+        cluster::halvingDoublingAllreduceSeconds(msg, n, 1e10, 5e-6),
+        cluster::ringAllreduceSeconds(msg, n, 1e10, 5e-6));
+}
+
+TEST(Collectives, DispatcherCoversAllAlgos)
+{
+    for (auto algo : {cluster::CollectiveAlgo::Ring,
+                      cluster::CollectiveAlgo::HalvingDoubling,
+                      cluster::CollectiveAlgo::Tree}) {
+        EXPECT_GT(cluster::allreduceAlgoSeconds(algo, 1 << 20, 8, 1e10,
+                                                1e-6),
+                  0.0);
+        EXPECT_DOUBLE_EQ(
+            cluster::allreduceAlgoSeconds(algo, 1 << 20, 1, 1e10, 1e-6),
+            0.0);
+    }
+}
+
+// ------------------------------------------------ graph events
+
+TEST(GraphEvents, CrossStreamDependencySerializes)
+{
+    compiler::App app;
+    compiler::Stream producer, consumer;
+    producer.tasks.push_back({"p", 500, 1, -1, /*signals=*/1});
+    consumer.tasks.push_back({"c", 100, 1, /*waits=*/1, -1});
+    app.streams = {producer, consumer};
+    const auto r = compiler::schedule({app}, 4);
+    // The consumer cannot start before the producer finishes.
+    EXPECT_EQ(r.makespan, 600u);
+}
+
+TEST(GraphEvents, IndependentStreamsStillOverlap)
+{
+    compiler::App app;
+    compiler::Stream a, b;
+    a.tasks.push_back({"a", 500, 1, -1, -1});
+    b.tasks.push_back({"b", 500, 1, -1, -1});
+    app.streams = {a, b};
+    EXPECT_EQ(compiler::schedule({app}, 2).makespan, 500u);
+}
+
+TEST(GraphEventsDeath, DependencyCyclePanics)
+{
+    compiler::App app;
+    compiler::Stream a, b;
+    a.tasks.push_back({"a", 10, 1, /*waits=*/1, /*signals=*/2});
+    b.tasks.push_back({"b", 10, 1, /*waits=*/2, /*signals=*/1});
+    app.streams = {a, b};
+    EXPECT_DEATH(compiler::schedule({app}, 2), "dependency cycle");
+}
+
+} // anonymous namespace
+} // namespace ascend
