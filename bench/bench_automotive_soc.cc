@@ -58,11 +58,11 @@ main()
     TextTable u("MAC utilization on batch-1 perception nets");
     u.header({"network", "FSD-like 96x96 systolic util %",
               "Ascend cube util % (610 core)"});
-    compiler::Profiler profiler(soc610.coreConfig());
+    runtime::SimSession session(soc610.coreConfig());
     auto cube_util = [&](const model::Network &net) {
         Flops flops = 0;
         Cycles busy = 0;
-        for (const auto &run : profiler.runInference(net)) {
+        for (const auto &run : session.runInference(net)) {
             flops += run.result.totalFlops;
             busy += run.result.pipe(isa::Pipe::Cube).busyCycles;
         }

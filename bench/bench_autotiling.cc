@@ -25,7 +25,7 @@ main()
         arch::CoreVersion core;
         model::Layer layer;
     };
-    const Case cases[] = {
+    const std::vector<Case> cases = {
         {arch::CoreVersion::Max,
          model::Layer::linear("bert.ffn1", 384, 1024, 4096)},
         {arch::CoreVersion::Max,
@@ -38,12 +38,19 @@ main()
          model::Layer::conv2d("gesture.conv3", 1, 16, 48, 48, 32,
                               3, 2, 1, DataType::Int8)},
     };
+    // Each exhaustive search is independent (its own AutoTiler);
+    // run them through the pool and print rows in case order.
+    const auto results =
+        runtime::parallelMap(cases, [](const Case &c) {
+            compiler::AutoTiler tiler(arch::makeCoreConfig(c.core));
+            return tiler.search(c.layer);
+        });
     TextTable t("per-layer search");
     t.header({"core", "layer", "heuristic tile", "cycles", "best tile",
               "cycles", "gain", "tried"});
-    for (const Case &c : cases) {
-        compiler::AutoTiler tiler(arch::makeCoreConfig(c.core));
-        const auto r = tiler.search(c.layer);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const Case &c = cases[i];
+        const auto &r = results[i];
         auto fmt = [](const compiler::GemmTile &g) {
             return std::to_string(g.mt) + "x" + std::to_string(g.kt) +
                    "x" + std::to_string(g.nt);
@@ -59,25 +66,25 @@ main()
                  "(it includes it) and recovers\nthe cases where the "
                  "one-shot rule picks a poor loop order.\n";
 
-    // Section 2.3: micro-architecture exploration — L0 size sweep.
+    // Section 2.3: micro-architecture exploration — L0 size sweep,
+    // one independent core config per point.
     bench::banner("Section 2.3: design-space sweep (L0 capacity, "
                   "ResNet50 on Ascend)");
     TextTable d("L0A/L0B capacity sweep");
     d.header({"L0A/L0B (KiB)", "total cycles", "vs shipped 64 KiB"});
     const auto net = model::zoo::resnet50(1);
-    auto run_with_l0 = [&](Bytes kib) {
+    const std::vector<Bytes> kibs = {16, 32, 64, 128, 256};
+    const auto cycles = runtime::parallelMap(kibs, [&](Bytes kib) {
         auto cfg = arch::makeCoreConfig(arch::CoreVersion::Std);
         cfg.l0aBytes = cfg.l0bBytes = kib * kKiB;
-        compiler::Profiler profiler(cfg);
-        return compiler::Profiler::totalCycles(
-            profiler.runInference(net));
-    };
-    const Cycles shipped = run_with_l0(64);
-    for (Bytes kib : {16ull, 32ull, 64ull, 128ull, 256ull}) {
-        const Cycles cycles = run_with_l0(kib);
-        d.row({TextTable::num(std::uint64_t(kib)),
-               TextTable::num(std::uint64_t(cycles)),
-               TextTable::num(double(cycles) / shipped, 3) + "x"});
+        runtime::SimSession session(cfg);
+        return runtime::totalCycles(session.runInference(net));
+    });
+    const Cycles shipped = cycles[2]; // the 64 KiB point
+    for (std::size_t i = 0; i < kibs.size(); ++i) {
+        d.row({TextTable::num(std::uint64_t(kibs[i])),
+               TextTable::num(std::uint64_t(cycles[i])),
+               TextTable::num(double(cycles[i]) / shipped, 3) + "x"});
     }
     d.print(std::cout);
     std::cout << "Below the shipped 64 KiB, tiles shrink and "

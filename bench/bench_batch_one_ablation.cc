@@ -33,11 +33,11 @@ run(unsigned m0, unsigned batch)
     // Scale bus A with the cube's row appetite so the comparison
     // isolates the utilization effect.
     cfg.busABytesPerCycle = cfg.busABytesPerCycle * m0 / 4;
-    compiler::Profiler profiler(cfg);
+    runtime::SimSession session(cfg);
     const auto net = model::zoo::mobilenetV2(batch);
     Flops flops = 0;
     Cycles cube_busy = 0, total = 0;
-    for (const auto &r : profiler.runInference(net)) {
+    for (const auto &r : session.runInference(net)) {
         if (r.layer.isCubeLayer()) {
             flops += r.result.totalFlops;
             cube_busy += r.result.pipe(isa::Pipe::Cube).busyCycles;
@@ -63,16 +63,25 @@ main()
     TextTable t("m0 sweep");
     t.header({"cube", "batch", "MAC utilization %", "kcycles/image",
               "shipped?"});
-    for (unsigned batch : {1u, 8u}) {
-        for (unsigned m0 : {4u, 8u, 16u}) {
-            const Sample s = run(m0, batch);
-            t.row({std::to_string(m0) + "x16x16",
-                   TextTable::num(std::uint64_t(batch)),
-                   TextTable::num(100 * s.utilization, 1),
-                   TextTable::num(s.cycles_per_image / 1000.0, 0),
-                   (m0 == 4 && batch == 1) ? "<= Lite ships 4x16x16"
-                                           : ""});
-        }
+    // Six independent (m0, batch) design points; sweep them through
+    // the pool and print rows in the fixed grid order.
+    std::vector<std::pair<unsigned, unsigned>> grid;
+    for (unsigned batch : {1u, 8u})
+        for (unsigned m0 : {4u, 8u, 16u})
+            grid.emplace_back(m0, batch);
+    const auto samples = runtime::parallelMap(
+        grid, [](const std::pair<unsigned, unsigned> &p) {
+            return run(p.first, p.second);
+        });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto [m0, batch] = grid[i];
+        const Sample &s = samples[i];
+        t.row({std::to_string(m0) + "x16x16",
+               TextTable::num(std::uint64_t(batch)),
+               TextTable::num(100 * s.utilization, 1),
+               TextTable::num(s.cycles_per_image / 1000.0, 0),
+               (m0 == 4 && batch == 1) ? "<= Lite ships 4x16x16"
+                                       : ""});
     }
     t.print(std::cout);
     std::cout << "At batch 1 the im2col m dimension is small (spatial "

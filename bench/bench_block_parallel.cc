@@ -27,11 +27,11 @@ namespace {
 
 /** Per-core task list for one network at the given batch. */
 std::vector<soc::CoreTask>
-coreTasks(const compiler::Profiler &profiler, const model::Network &net,
+coreTasks(const runtime::SimSession &session, const model::Network &net,
           double clock_ghz)
 {
     std::vector<soc::CoreTask> tasks;
-    for (const auto &run : profiler.runInference(net)) {
+    for (const auto &run : session.runInference(net)) {
         soc::CoreTask t;
         t.computeSeconds =
             double(run.result.totalCycles) / (clock_ghz * 1e9);
@@ -49,7 +49,7 @@ main()
     soc::TrainingSoc soc910;
     const auto &cfg = soc910.config();
     const double clock = soc910.coreConfig().clockGhz;
-    compiler::Profiler profiler(soc910.coreConfig());
+    runtime::SimSession session(soc910.coreConfig());
 
     bench::banner("Section 5.2: block-parallel ResNet50 on 32 cores");
 
@@ -58,16 +58,16 @@ main()
 
     // 2. Fluid, even split: every core runs batch 4.
     const auto even_tasks =
-        coreTasks(profiler, model::zoo::resnet50(4), clock);
+        coreTasks(session, model::zoo::resnet50(4), clock);
     std::vector<std::vector<soc::CoreTask>> even(cfg.aiCores,
                                                  even_tasks);
     const auto fluid_even =
         soc::runChipSim(even, cfg.llcBandwidth);
 
     // 3. Fluid, skewed split: half the cores get batch 6, half get 2.
-    const auto heavy = coreTasks(profiler, model::zoo::resnet50(6),
+    const auto heavy = coreTasks(session, model::zoo::resnet50(6),
                                  clock);
-    const auto light = coreTasks(profiler, model::zoo::resnet50(2),
+    const auto light = coreTasks(session, model::zoo::resnet50(2),
                                  clock);
     std::vector<std::vector<soc::CoreTask>> skewed;
     for (unsigned c = 0; c < cfg.aiCores; ++c)

@@ -14,7 +14,6 @@
 
 #include "arch/unit_model.hh"
 #include "bench/bench_util.hh"
-#include "compiler/profiler.hh"
 #include "model/zoo.hh"
 
 using namespace ascend;
@@ -37,10 +36,10 @@ cubeUtilization(const arch::CubeShape &shape, const model::Network &net)
     cfg.busABytesPerCycle = Bytes(cfg.busABytesPerCycle * scale) + 1;
     cfg.busBBytesPerCycle = Bytes(cfg.busBBytesPerCycle * scale) + 1;
 
-    compiler::Profiler profiler(cfg);
+    runtime::SimSession session(cfg);
     Flops flops = 0;
     Cycles cube_busy = 0;
-    for (const auto &run : profiler.runInference(net)) {
+    for (const auto &run : session.runInference(net)) {
         flops += run.result.totalFlops;
         cube_busy += run.result.pipe(isa::Pipe::Cube).busyCycles;
     }
@@ -79,20 +78,33 @@ main()
                "330", "600"});
     table.print(std::cout);
 
-    // The 32^3 caveat: MAC utilization across real networks.
+    // The 32^3 caveat: MAC utilization across real networks. Each
+    // (cube dim, network) cell is an independent simulation; run the
+    // whole grid through the pool, then print in fixed order.
     bench::banner("Section 2.1 caveat: MAC utilization vs cube size");
     TextTable util("cube MAC utilization per network");
     util.header({"cube", "ResNet50 b=1", "MobileNetV2 b=1",
                  "BERT-Large 2l b=1"});
-    const auto resnet = model::zoo::resnet50(1);
-    const auto mobile = model::zoo::mobilenetV2(1);
-    const auto bert = model::zoo::bert("bert2", 1, 384, 1024, 2, 16, 4096);
-    for (unsigned dim : {8u, 16u, 32u}) {
-        const arch::CubeShape shape{dim, dim, dim};
-        util.row({std::to_string(dim) + "^3",
-                  TextTable::num(100 * cubeUtilization(shape, resnet), 1),
-                  TextTable::num(100 * cubeUtilization(shape, mobile), 1),
-                  TextTable::num(100 * cubeUtilization(shape, bert), 1)});
+    const std::vector<model::Network> nets = {
+        model::zoo::resnet50(1), model::zoo::mobilenetV2(1),
+        model::zoo::bert("bert2", 1, 384, 1024, 2, 16, 4096)};
+    const std::vector<unsigned> dims = {8, 16, 32};
+    std::vector<std::pair<unsigned, std::size_t>> cells;
+    for (unsigned dim : dims)
+        for (std::size_t n = 0; n < nets.size(); ++n)
+            cells.emplace_back(dim, n);
+    const auto utils = runtime::parallelMap(
+        cells, [&](const std::pair<unsigned, std::size_t> &cell) {
+            const arch::CubeShape shape{cell.first, cell.first,
+                                        cell.first};
+            return cubeUtilization(shape, nets[cell.second]);
+        });
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        const std::size_t base = d * nets.size();
+        util.row({std::to_string(dims[d]) + "^3",
+                  TextTable::num(100 * utils[base + 0], 1),
+                  TextTable::num(100 * utils[base + 1], 1),
+                  TextTable::num(100 * utils[base + 2], 1)});
     }
     util.print(std::cout);
     std::cout << "(paper: 32^3 becomes inefficient due to lower MAC "

@@ -25,10 +25,10 @@ struct Sample
 };
 
 Sample
-run(const compiler::Profiler &profiler, const model::Network &net)
+run(const runtime::SimSession &session, const model::Network &net)
 {
     Sample s;
-    for (const auto &r : profiler.runInference(net)) {
+    for (const auto &r : session.runInference(net)) {
         s.cycles += r.result.totalCycles;
         s.ext += r.result.extBytes();
     }
@@ -50,25 +50,37 @@ main()
         arch::CoreVersion core;
         model::Network net;
     };
-    const Case cases[] = {
+    const std::vector<Case> cases = {
         {arch::CoreVersion::Std, model::zoo::resnet50(1)},
         {arch::CoreVersion::Lite, model::zoo::mobilenetV2(1)},
         {arch::CoreVersion::Tiny, model::zoo::gestureNet(1)},
         {arch::CoreVersion::Max, model::zoo::vgg16(1)},
     };
-    for (const Case &c : cases) {
-        compiler::Profiler profiler(arch::makeCoreConfig(c.core));
+    // Per-case work (fusion + two simulated runs) is independent;
+    // run the cases through the pool and print in catalog order.
+    struct Row
+    {
         compiler::FusionReport report;
-        const auto fused = compiler::fuseNetwork(c.net, &report);
-        const Sample plain = run(profiler, c.net);
-        const Sample opt = run(profiler, fused);
+        Sample plain, opt;
+    };
+    const auto rows = runtime::parallelMap(cases, [](const Case &c) {
+        runtime::SimSession session(arch::makeCoreConfig(c.core));
+        Row r;
+        const auto fused = compiler::fuseNetwork(c.net, &r.report);
+        r.plain = run(session, c.net);
+        r.opt = run(session, fused);
+        return r;
+    });
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const Case &c = cases[i];
+        const Row &r = rows[i];
         t.row({c.net.name, arch::toString(c.core),
-               TextTable::num(std::uint64_t(report.layersBefore)),
-               TextTable::num(std::uint64_t(report.fusedLayers())),
-               TextTable::num(double(plain.cycles) / opt.cycles, 2) +
+               TextTable::num(std::uint64_t(r.report.layersBefore)),
+               TextTable::num(std::uint64_t(r.report.fusedLayers())),
+               TextTable::num(double(r.plain.cycles) / r.opt.cycles, 2) +
                    "x",
-               TextTable::num(100.0 * (1.0 - double(opt.ext) /
-                                                 plain.ext), 1)});
+               TextTable::num(100.0 * (1.0 - double(r.opt.ext) /
+                                                 r.plain.ext), 1)});
     }
     t.print(std::cout);
     std::cout << "Fused post-operators never round-trip their "

@@ -10,6 +10,8 @@
  * shows the highest L1 demand of the three networks.
  */
 
+#include <functional>
+
 #include "bench/bench_util.hh"
 #include "model/zoo.hh"
 
@@ -30,7 +32,7 @@ unlimitedL1Config()
 }
 
 double
-seriesMaxRead(const std::vector<compiler::GroupProfile> &groups)
+seriesMaxRead(const std::vector<runtime::GroupProfile> &groups)
 {
     double mx = 0;
     for (const auto &g : groups)
@@ -43,23 +45,43 @@ seriesMaxRead(const std::vector<compiler::GroupProfile> &groups)
 int
 main()
 {
-    compiler::Profiler profiler(unlimitedL1Config());
+    runtime::SimSession session(unlimitedL1Config());
 
-    bench::banner("Figure 9 (a): L1 bandwidth, BERT forward+backward");
+    // The three profiles are independent network runs on one shared
+    // session; produce them through the pool, print in figure order.
     const auto bert = model::zoo::bert("bert_large_2l", 1, 384, 1024, 2,
                                        16, 4096);
-    const auto bert_groups = compiler::Profiler::fusionGroupsTraining(
-        profiler.runTraining(bert));
+    std::vector<std::function<std::vector<runtime::GroupProfile>()>>
+        tasks = {
+            [&] {
+                return runtime::fusionGroupsTraining(
+                    session.runTraining(bert));
+            },
+            [&] {
+                return runtime::fusionGroups(
+                    session.runInference(model::zoo::mobilenetV2(1)));
+            },
+            [&] {
+                return runtime::fusionGroups(
+                    session.runInference(model::zoo::resnet50(1)));
+            },
+        };
+    const auto profiles = runtime::parallelMap(
+        tasks,
+        [](const std::function<std::vector<runtime::GroupProfile>()> &t) {
+            return t();
+        });
+    const auto &bert_groups = profiles[0];
+    const auto &mobile_groups = profiles[1];
+    const auto &resnet_groups = profiles[2];
+
+    bench::banner("Figure 9 (a): L1 bandwidth, BERT forward+backward");
     bench::printBandwidthSeries("BERT training", bert_groups);
 
     bench::banner("Figure 9 (b): L1 bandwidth, MobileNetV2 inference");
-    const auto mobile_groups = compiler::Profiler::fusionGroups(
-        profiler.runInference(model::zoo::mobilenetV2(1)));
     bench::printBandwidthSeries("MobileNetV2", mobile_groups);
 
     bench::banner("Figure 9 (c): L1 bandwidth, ResNet50 inference");
-    const auto resnet_groups = compiler::Profiler::fusionGroups(
-        profiler.runInference(model::zoo::resnet50(1)));
     bench::printBandwidthSeries("ResNet50", resnet_groups);
 
     std::cout << "\nCross-network comparison of peak L1 read demand:\n"

@@ -18,7 +18,7 @@ int
 main()
 {
     const auto config = arch::makeCoreConfig(arch::CoreVersion::Max);
-    compiler::Profiler profiler(config);
+    runtime::SimSession session(config);
 
     // Four encoder layers are enough to show the repeating series
     // (all 24 encoders of BERT-Large are identical).
@@ -29,15 +29,15 @@ main()
 
     bench::banner("Figure 4: cube/vector ratio, BERT inference "
                   "(cube 8192 FLOPS/cy, vector 256 B)");
-    const auto inf_runs = profiler.runInference(net);
+    const auto inf_runs = session.runInference(net);
     bench::printRatioSeries("BERT inference",
-                            compiler::Profiler::fusionGroups(inf_runs));
+                            runtime::fusionGroups(inf_runs));
 
     bench::banner("Figure 5: cube/vector ratio, BERT training "
                   "(same configuration)");
-    const auto tra_runs = profiler.runTraining(net);
+    const auto tra_runs = session.runTraining(net);
     bench::printRatioSeries(
         "BERT training (fwd+bwd per operator)",
-        compiler::Profiler::fusionGroupsTraining(tra_runs));
+        runtime::fusionGroupsTraining(tra_runs));
     return 0;
 }

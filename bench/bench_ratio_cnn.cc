@@ -21,27 +21,28 @@ int
 main()
 {
     const auto max_cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
-    compiler::Profiler profiler(max_cfg);
+    runtime::SimSession session(max_cfg);
 
     bench::banner("Figure 6: cube/vector ratio, MobileNetV2 inference "
                   "(cube 8192 FLOPS/cy, vector 256 B)");
     const auto mobilenet = model::zoo::mobilenetV2(1);
     bench::printRatioSeries(
         "MobileNetV2 b=1",
-        compiler::Profiler::fusionGroups(profiler.runInference(mobilenet)));
+        runtime::fusionGroups(session.runInference(mobilenet)));
 
     bench::banner("Figure 7: cube/vector ratio, ResNet50 inference "
                   "(cube 8192 FLOPS/cy, vector 256 B)");
     const auto resnet = model::zoo::resnet50(1);
     bench::printRatioSeries(
         "ResNet50 b=1",
-        compiler::Profiler::fusionGroups(profiler.runInference(resnet)));
+        runtime::fusionGroups(session.runInference(resnet)));
 
     bench::banner("Section 2.4 check: MobileNetV2 on the tailored "
                   "Ascend-Lite core (cube 2048, vector 128 B)");
-    compiler::Profiler lite(arch::makeCoreConfig(arch::CoreVersion::Lite));
+    runtime::SimSession lite(
+        arch::makeCoreConfig(arch::CoreVersion::Lite));
     bench::printRatioSeries(
         "MobileNetV2 b=1 on Lite",
-        compiler::Profiler::fusionGroups(lite.runInference(mobilenet)));
+        runtime::fusionGroups(lite.runInference(mobilenet)));
     return 0;
 }

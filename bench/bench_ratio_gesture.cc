@@ -16,7 +16,7 @@ using namespace ascend;
 int
 main()
 {
-    compiler::Profiler profiler(
+    runtime::SimSession session(
         arch::makeCoreConfig(arch::CoreVersion::Tiny));
 
     bench::banner("Figure 8: cube/vector ratio, Gesture NN inference "
@@ -24,6 +24,6 @@ main()
     const auto net = model::zoo::gestureNet(1);
     bench::printRatioSeries(
         "Gesture NN b=1 int8",
-        compiler::Profiler::fusionGroups(profiler.runInference(net)));
+        runtime::fusionGroups(session.runInference(net)));
     return 0;
 }

@@ -9,10 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
-#include "compiler/profiler.hh"
+#include "compiler/layer_compiler.hh"
+#include "core/core_sim.hh"
 #include "memory/llc.hh"
 #include "model/zoo.hh"
 #include "noc/mesh.hh"
+#include "runtime/sim_cache.hh"
+#include "runtime/sim_session.hh"
 
 using namespace ascend;
 
@@ -51,15 +54,36 @@ BENCHMARK(BM_CompileResnetLayer);
 void
 BM_ProfileGestureNet(benchmark::State &state)
 {
-    compiler::Profiler profiler(
-        arch::makeCoreConfig(arch::CoreVersion::Tiny));
+    // Private cold cache so the measurement covers the full
+    // compile + simulate path, not the memo hit.
+    runtime::SimSession session(
+        arch::makeCoreConfig(arch::CoreVersion::Tiny), {},
+        std::make_shared<runtime::SimCache>());
     const auto net = model::zoo::gestureNet(1);
     for (auto _ : state) {
-        auto runs = profiler.runInference(net);
+        session.cache().clear();
+        auto runs = session.runInference(net);
         benchmark::DoNotOptimize(runs.size());
     }
 }
 BENCHMARK(BM_ProfileGestureNet);
+
+void
+BM_ProfileGestureNetCached(benchmark::State &state)
+{
+    // Warm-cache counterpart: all layer results come from the memo.
+    runtime::SimSession session(
+        arch::makeCoreConfig(arch::CoreVersion::Tiny), {},
+        std::make_shared<runtime::SimCache>());
+    const auto net = model::zoo::gestureNet(1);
+    auto warm = session.runInference(net);
+    benchmark::DoNotOptimize(warm.size());
+    for (auto _ : state) {
+        auto runs = session.runInference(net);
+        benchmark::DoNotOptimize(runs.size());
+    }
+}
+BENCHMARK(BM_ProfileGestureNetCached);
 
 void
 BM_LlcAccess(benchmark::State &state)

@@ -6,17 +6,26 @@
  * it prints the paper's reported values next to the values this
  * reproduction measures, so the shape comparison is visible in one
  * place. EXPERIMENTS.md records the same numbers.
+ *
+ * The benches drive simulation through runtime::SimSession (memoized
+ * + thread-pooled); with ASCEND_SIM_STATS=1 every banner-using bench
+ * prints a one-line summary of the process-wide simulation cache at
+ * exit. Note the counters (not the simulation results) can vary with
+ * ASCEND_THREADS: concurrent misses on one key may both simulate.
  */
 
 #ifndef ASCEND_BENCH_BENCH_UTIL_HH
 #define ASCEND_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hh"
-#include "compiler/profiler.hh"
+#include "runtime/profile.hh"
+#include "runtime/sim_session.hh"
+#include "runtime/thread_pool.hh"
 
 namespace ascend {
 namespace bench {
@@ -25,6 +34,25 @@ namespace bench {
 inline void
 banner(const std::string &what)
 {
+    // First banner wires up the ASCEND_SIM_STATS=1 observability
+    // hook: one cache-counter line on exit, after all tables.
+    static const bool registered = [] {
+        const char *env = std::getenv("ASCEND_SIM_STATS");
+        if (env && std::string(env) == "1") {
+            // Construct the process cache *before* registering the
+            // handler: statics destruct in reverse order, so the
+            // summary then prints while the cache is still alive.
+            runtime::SimSession::processCache();
+            std::atexit([] {
+                std::cout << "["
+                          << runtime::SimSession::processCache()
+                                 ->summary()
+                          << "]\n";
+            });
+        }
+        return true;
+    }();
+    (void)registered;
     std::cout << "\n=================================================\n"
               << what << "\n"
               << "=================================================\n";
@@ -33,7 +61,7 @@ banner(const std::string &what)
 /** Print a fusion-group ratio series (Figs. 4-8 format). */
 inline void
 printRatioSeries(const std::string &title,
-                 const std::vector<compiler::GroupProfile> &groups)
+                 const std::vector<runtime::GroupProfile> &groups)
 {
     TextTable table(title);
     table.header({"#", "operator", "cube busy", "vec busy", "cube/vec"});
@@ -55,7 +83,7 @@ printRatioSeries(const std::string &title,
 /** Print an L1 bandwidth profile (Fig. 9 format). */
 inline void
 printBandwidthSeries(const std::string &title,
-                     const std::vector<compiler::GroupProfile> &groups)
+                     const std::vector<runtime::GroupProfile> &groups)
 {
     TextTable table(title);
     table.header({"#", "operator", "L1 read bits/cycle",

@@ -31,32 +31,37 @@ sweepWidths(arch::CoreVersion version, const model::Network &net,
     t.header({"vector width", "total cycles", "slowdown vs widest",
               "ops with ratio > 1 %", "shipped?"});
 
-    // Establish the widest point first for normalization.
-    std::vector<Bytes> widths = {shipped_width / 4, shipped_width / 2,
-                                 shipped_width, shipped_width * 2,
-                                 shipped_width * 4};
-    std::vector<Cycles> totals;
-    std::vector<double> above;
-    for (Bytes w : widths) {
+    // Each width is an independent config: sweep the points through
+    // the pool and print rows in width order afterwards.
+    const std::vector<Bytes> widths = {shipped_width / 4,
+                                       shipped_width / 2, shipped_width,
+                                       shipped_width * 2,
+                                       shipped_width * 4};
+    struct Point
+    {
+        Cycles total;
+        double abovePct;
+    };
+    const auto points = runtime::parallelMap(widths, [&](Bytes w) {
         auto cfg = base;
         cfg.vectorWidthBytes = w;
-        compiler::Profiler profiler(cfg);
-        const auto runs = profiler.runInference(net);
-        totals.push_back(compiler::Profiler::totalCycles(runs));
-        const auto groups = compiler::Profiler::fusionGroups(runs);
+        runtime::SimSession session(cfg);
+        const auto runs = session.runInference(net);
+        const auto groups = runtime::fusionGroups(runs);
         unsigned n = 0;
         for (const auto &g : groups)
             if (g.cubeVectorRatio() > 1.0)
                 ++n;
-        above.push_back(groups.empty() ? 0
-                                       : 100.0 * n / groups.size());
-    }
-    const Cycles best = totals.back();
+        return Point{runtime::totalCycles(runs),
+                     groups.empty() ? 0 : 100.0 * n / groups.size()};
+    });
+    const Cycles best = points.back().total;
     for (std::size_t i = 0; i < widths.size(); ++i) {
         t.row({TextTable::num(std::uint64_t(widths[i])) + " B",
-               TextTable::num(std::uint64_t(totals[i])),
-               TextTable::num(double(totals[i]) / double(best), 2) + "x",
-               TextTable::num(above[i], 0),
+               TextTable::num(std::uint64_t(points[i].total)),
+               TextTable::num(double(points[i].total) / double(best), 2) +
+                   "x",
+               TextTable::num(points[i].abovePct, 0),
                widths[i] == shipped_width ? "<= shipped" : ""});
     }
     t.print(std::cout);

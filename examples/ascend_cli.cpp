@@ -24,7 +24,7 @@
 
 #include "arch/config_io.hh"
 #include "common/table.hh"
-#include "compiler/profiler.hh"
+#include "runtime/sim_session.hh"
 #include "core/trace.hh"
 #include "isa/verify.hh"
 #include "model/zoo.hh"
@@ -187,7 +187,7 @@ main(int argc, char **argv)
     compiler::CompileOptions copt;
     copt.sparsity.weightDensity = opt.density;
     copt.sparsity.structured = opt.structured;
-    compiler::Profiler profiler(cfg, copt);
+    runtime::SimSession session(cfg, copt);
 
     std::cout << net.name << " (batch " << opt.batch << ", "
               << toString(dt) << ") on " << cfg.name << "\n";
@@ -220,11 +220,10 @@ main(int argc, char **argv)
                   << opt.traceFile << "\n";
     }
 
-    const auto runs = profiler.runInference(net);
+    const auto runs = session.runInference(net);
     const auto groups = opt.train
-        ? compiler::Profiler::fusionGroupsTraining(
-              profiler.runTraining(net))
-        : compiler::Profiler::fusionGroups(runs);
+        ? runtime::fusionGroupsTraining(session.runTraining(net))
+        : runtime::fusionGroups(runs);
 
     Cycles total = 0;
     for (const auto &g : groups)

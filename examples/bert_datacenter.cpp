@@ -15,8 +15,8 @@
 
 #include "cluster/collective.hh"
 #include "common/table.hh"
-#include "compiler/profiler.hh"
 #include "model/zoo.hh"
+#include "runtime/sim_session.hh"
 #include "soc/training_soc.hh"
 
 using namespace ascend;
@@ -26,16 +26,16 @@ main()
 {
     // 1. One encoder layer on one Ascend-Max core.
     const auto core_cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
-    compiler::Profiler profiler(core_cfg);
+    runtime::SimSession session(core_cfg);
     const auto one_layer =
         model::zoo::bert("bert_encoder", 1, 384, 1024, 1, 16, 4096);
-    const auto runs = profiler.runInference(one_layer);
+    const auto runs = session.runInference(one_layer);
 
     std::cout << "=== one BERT-Large encoder layer on "
               << core_cfg.name << " ===\n";
     TextTable t;
     t.header({"operator", "cycles", "cube util %", "vector util %"});
-    for (const auto &g : compiler::Profiler::fusionGroups(runs)) {
+    for (const auto &g : runtime::fusionGroups(runs)) {
         t.row({g.name, TextTable::num(std::uint64_t(g.totalCycles)),
                TextTable::num(100.0 * g.cubeBusy / g.totalCycles, 1),
                TextTable::num(100.0 * g.vectorBusy / g.totalCycles, 1)});

@@ -18,7 +18,7 @@ using namespace ascend;
 int
 main()
 {
-    compiler::Profiler profiler(
+    runtime::SimSession session(
         arch::makeCoreConfig(arch::CoreVersion::Std));
 
     // App 1: a surveillance service running ResNet50 per camera.
@@ -26,12 +26,12 @@ main()
     compiler::App surveillance;
     surveillance.name = "surveillance";
     surveillance.streams.push_back(compiler::compileToStream(
-        profiler, model::zoo::resnet50(1), /*max_blocks=*/4));
+        session, model::zoo::resnet50(1), /*max_blocks=*/4));
 
     compiler::App tracking;
     tracking.name = "tracking";
     tracking.streams.push_back(compiler::compileToStream(
-        profiler, model::zoo::mobilenetV2(1), /*max_blocks=*/4));
+        session, model::zoo::mobilenetV2(1), /*max_blocks=*/4));
 
     std::cout << "=== multi-level scheduling on an 8-core SoC ===\n";
     std::cout << "surveillance: "

@@ -12,9 +12,9 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "compiler/profiler.hh"
 #include "core/trace.hh"
 #include "model/zoo.hh"
+#include "runtime/sim_session.hh"
 
 using namespace ascend;
 
@@ -23,9 +23,9 @@ namespace {
 void
 profileNetwork(const arch::CoreConfig &config, const model::Network &net)
 {
-    compiler::Profiler profiler(config);
-    const auto runs = profiler.runInference(net);
-    const auto groups = compiler::Profiler::fusionGroups(runs);
+    runtime::SimSession session(config);
+    const auto runs = session.runInference(net);
+    const auto groups = runtime::fusionGroups(runs);
 
     TextTable table(net.name + " on " + config.name);
     table.header({"operator", "cycles", "cube%", "vec%", "cube/vec",

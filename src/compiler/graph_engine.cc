@@ -15,12 +15,12 @@ namespace ascend {
 namespace compiler {
 
 Stream
-compileToStream(const Profiler &profiler, const model::Network &net,
-                unsigned max_blocks)
+compileToStream(const runtime::SimSession &session,
+                const model::Network &net, unsigned max_blocks)
 {
     simAssert(max_blocks >= 1, "need at least one block per task");
-    const auto runs = profiler.runInference(net);
-    const auto groups = Profiler::fusionGroups(runs);
+    const auto runs = session.runInference(net);
+    const auto groups = runtime::fusionGroups(runs);
 
     Stream stream;
     stream.name = net.name;

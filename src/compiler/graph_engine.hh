@@ -65,13 +65,23 @@ struct ScheduleResult
 /**
  * The graph compiler: turn a network into one stream of tasks.
  *
- * @param profiler Core-level profiler providing task durations.
+ * @param session Core-level simulation session providing task
+ *        durations (memoized across streams sharing shapes).
  * @param net The network.
  * @param max_blocks Upper bound on per-task block splitting (the
  *        explicit block count a programmer would write).
  */
-Stream compileToStream(const Profiler &profiler, const model::Network &net,
+Stream compileToStream(const runtime::SimSession &session,
+                       const model::Network &net,
                        unsigned max_blocks = 4);
+
+/** Source-compatible overload for callers still holding a Profiler. */
+inline Stream
+compileToStream(const Profiler &profiler, const model::Network &net,
+                unsigned max_blocks = 4)
+{
+    return compileToStream(profiler.session(), net, max_blocks);
+}
 
 /**
  * List-schedule @p apps on @p cores cores.

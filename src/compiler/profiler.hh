@@ -3,11 +3,13 @@
  * Network-level profiling: runs every layer of a network through the
  * core simulator and aggregates the statistics the paper plots.
  *
- * Fusion groups: the paper's per-layer ratio charts (Figs. 4-8) count
- * each cube operator together with the vector post-operators that the
- * real tool-chain fuses behind it (bias, normalization, activation,
- * residual add). We reproduce that granularity by grouping each cube
- * layer with all following non-cube layers up to the next cube layer.
+ * Profiler is a source-compatible shim over runtime::SimSession, kept
+ * so the original public API (construct with a CoreConfig, call
+ * runInference/runTraining, aggregate with the static helpers) keeps
+ * compiling. The compile -> simulate -> aggregate loop itself — with
+ * memoization and parallel per-layer dispatch — lives in the runtime
+ * layer; see runtime/sim_session.hh and runtime/profile.hh. New code
+ * should use runtime::SimSession directly.
  */
 
 #ifndef ASCEND_COMPILER_PROFILER_HH
@@ -16,63 +18,37 @@
 #include <vector>
 
 #include "compiler/layer_compiler.hh"
-#include "core/core_sim.hh"
 #include "model/network.hh"
+#include "runtime/sim_session.hh"
 
 namespace ascend {
 namespace compiler {
 
-/** Per-layer simulation outcome. */
-struct LayerRun
-{
-    model::Layer layer;
-    core::SimResult result;
-};
+/** Per-layer simulation outcome (now defined in the runtime layer). */
+using LayerRun = runtime::LayerRun;
 
 /** Aggregated statistics of one fusion group (one chart point). */
-struct GroupProfile
-{
-    std::string name;          ///< name of the leading cube layer
-    Cycles cubeBusy = 0;
-    Cycles vectorBusy = 0;
-    Cycles totalCycles = 0;
-    Bytes l1ReadBytes = 0;
-    Bytes l1WriteBytes = 0;
-    Bytes extBytes = 0;
-    Flops flops = 0;
-
-    /** Cube/vector execution-time ratio (Figs. 4-8's y-axis). */
-    double
-    cubeVectorRatio() const
-    {
-        return vectorBusy ? double(cubeBusy) / double(vectorBusy) : 0.0;
-    }
-
-    /** Average L1 read bandwidth in bits per cycle (Fig. 9's y-axis). */
-    double
-    l1ReadBitsPerCycle() const
-    {
-        return totalCycles ? 8.0 * double(l1ReadBytes) / totalCycles : 0.0;
-    }
-
-    double
-    l1WriteBitsPerCycle() const
-    {
-        return totalCycles ? 8.0 * double(l1WriteBytes) / totalCycles : 0.0;
-    }
-};
+using GroupProfile = runtime::GroupProfile;
 
 /**
- * Runs networks on one core configuration.
+ * Runs networks on one core configuration. Thin wrapper over
+ * runtime::SimSession; shares the process-wide simulation cache.
  */
 class Profiler
 {
   public:
     explicit Profiler(const arch::CoreConfig &config,
-                      CompileOptions options = {});
+                      CompileOptions options = {})
+        : session_(config, options)
+    {
+    }
 
     /** Compile and simulate every layer of @p net (inference). */
-    std::vector<LayerRun> runInference(const model::Network &net) const;
+    std::vector<LayerRun>
+    runInference(const model::Network &net) const
+    {
+        return session_.runInference(net);
+    }
 
     /**
      * Compile and simulate forward and backward work (one training
@@ -83,11 +59,17 @@ class Profiler
     std::vector<std::vector<LayerRun>>
     runTraining(const model::Network &net,
                 model::OptimizerKind opt =
-                    model::OptimizerKind::Sgd) const;
+                    model::OptimizerKind::Sgd) const
+    {
+        return session_.runTraining(net, opt);
+    }
 
     /** Aggregate inference runs into fusion groups. */
     static std::vector<GroupProfile>
-    fusionGroups(const std::vector<LayerRun> &runs);
+    fusionGroups(const std::vector<LayerRun> &runs)
+    {
+        return runtime::fusionGroups(runs);
+    }
 
     /**
      * Aggregate training runs into fusion groups: same grouping as
@@ -95,21 +77,32 @@ class Profiler
      * absorbing the backward work of its members.
      */
     static std::vector<GroupProfile>
-    fusionGroupsTraining(const std::vector<std::vector<LayerRun>> &runs);
+    fusionGroupsTraining(const std::vector<std::vector<LayerRun>> &runs)
+    {
+        return runtime::fusionGroupsTraining(runs);
+    }
 
     /** Total cycles across runs. */
-    static Cycles totalCycles(const std::vector<LayerRun> &runs);
+    static Cycles
+    totalCycles(const std::vector<LayerRun> &runs)
+    {
+        return runtime::totalCycles(runs);
+    }
 
     /** End-to-end simulation of a network; sums per-layer results. */
-    core::SimResult inferenceResult(const model::Network &net) const;
+    core::SimResult
+    inferenceResult(const model::Network &net) const
+    {
+        return session_.inferenceResult(net);
+    }
 
-    const arch::CoreConfig &config() const { return sim_.config(); }
+    const arch::CoreConfig &config() const { return session_.config(); }
+
+    /** The underlying session (for code migrating off this shim). */
+    const runtime::SimSession &session() const { return session_; }
 
   private:
-    static void addRunToGroup(GroupProfile &group, const LayerRun &run);
-
-    LayerCompiler layerCompiler_;
-    core::CoreSim sim_;
+    runtime::SimSession session_;
 };
 
 } // namespace compiler

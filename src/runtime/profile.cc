@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fusion-group aggregation implementation.
+ */
+
+#include "runtime/profile.hh"
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace runtime {
+
+namespace {
+
+void
+addRunToGroup(GroupProfile &group, const LayerRun &run)
+{
+    group.cubeBusy += run.result.pipe(isa::Pipe::Cube).busyCycles;
+    group.vectorBusy += run.result.pipe(isa::Pipe::Vector).busyCycles;
+    group.totalCycles += run.result.totalCycles;
+    group.l1ReadBytes += run.result.bus(isa::Bus::L1Read);
+    group.l1WriteBytes += run.result.bus(isa::Bus::L1Write);
+    group.extBytes += run.result.extBytes();
+    group.flops += run.result.totalFlops;
+}
+
+} // anonymous namespace
+
+std::vector<GroupProfile>
+fusionGroups(const std::vector<LayerRun> &runs)
+{
+    std::vector<GroupProfile> groups;
+    for (const LayerRun &run : runs) {
+        if (run.layer.isCubeLayer() || groups.empty()) {
+            GroupProfile g;
+            g.name = run.layer.name;
+            groups.push_back(std::move(g));
+        }
+        addRunToGroup(groups.back(), run);
+    }
+    return groups;
+}
+
+std::vector<GroupProfile>
+fusionGroupsTraining(const std::vector<std::vector<LayerRun>> &runs)
+{
+    std::vector<GroupProfile> groups;
+    for (const std::vector<LayerRun> &step : runs) {
+        simAssert(!step.empty(), "empty training step");
+        const LayerRun &fwd = step.front();
+        if (fwd.layer.isCubeLayer() || groups.empty()) {
+            GroupProfile g;
+            g.name = fwd.layer.name;
+            groups.push_back(std::move(g));
+        }
+        for (const LayerRun &run : step)
+            addRunToGroup(groups.back(), run);
+    }
+    return groups;
+}
+
+Cycles
+totalCycles(const std::vector<LayerRun> &runs)
+{
+    Cycles total = 0;
+    for (const LayerRun &run : runs)
+        total += run.result.totalCycles;
+    return total;
+}
+
+} // namespace runtime
+} // namespace ascend

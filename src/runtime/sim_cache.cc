@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Simulation cache implementation.
+ */
+
+#include "runtime/sim_cache.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace ascend {
+namespace runtime {
+
+namespace {
+
+/** Append an integer field. */
+void
+put(std::string &s, std::uint64_t v)
+{
+    s += std::to_string(v);
+    s += ',';
+}
+
+/**
+ * Append a double bit-exactly (decimal formatting would round and
+ * alias distinct sweep points onto one key).
+ */
+void
+putDouble(std::string &s, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put(s, bits);
+}
+
+} // anonymous namespace
+
+std::string
+fingerprint(const arch::CoreConfig &config)
+{
+    std::string s;
+    s.reserve(160);
+    s += "cfg:";
+    put(s, std::uint64_t(config.version));
+    putDouble(s, config.clockGhz);
+    put(s, config.cube.m0);
+    put(s, config.cube.k0);
+    put(s, config.cube.n0);
+    put(s, config.supportsFp16);
+    put(s, config.supportsInt8);
+    put(s, config.supportsInt4);
+    put(s, config.supportsFp32Cube);
+    put(s, config.vectorWidthBytes);
+    put(s, config.busABytesPerCycle);
+    put(s, config.busBBytesPerCycle);
+    put(s, config.busUbBytesPerCycle);
+    put(s, config.busExtBytesPerCycle);
+    put(s, config.l0aBytes);
+    put(s, config.l0bBytes);
+    put(s, config.l0cBytes);
+    put(s, config.l1Bytes);
+    put(s, config.ubBytes);
+    put(s, config.dispatchPerCycle);
+    return s;
+}
+
+std::string
+fingerprint(const compiler::CompileOptions &options)
+{
+    std::string s;
+    s.reserve(48);
+    s += "opt:";
+    put(s, options.pipelineDepth);
+    putDouble(s, options.sparsity.weightDensity);
+    put(s, options.sparsity.structured);
+    put(s, options.chargeExtTraffic);
+    put(s, options.mapGemmToVector);
+    return s;
+}
+
+std::string
+fingerprint(const model::Layer &layer)
+{
+    std::string s;
+    s.reserve(128);
+    s += "lay:";
+    put(s, std::uint64_t(layer.kind));
+    put(s, std::uint64_t(layer.dtype));
+    put(s, layer.batch);
+    put(s, layer.inC);
+    put(s, layer.outC);
+    put(s, layer.inH);
+    put(s, layer.inW);
+    put(s, layer.kernelH);
+    put(s, layer.kernelW);
+    put(s, layer.strideH);
+    put(s, layer.strideW);
+    put(s, layer.padH);
+    put(s, layer.padW);
+    put(s, layer.gemmM);
+    put(s, layer.gemmK);
+    put(s, layer.gemmN);
+    put(s, layer.matmulCount);
+    put(s, layer.elems);
+    put(s, layer.rowLen);
+    putDouble(s, layer.cvPasses);
+    putDouble(s, layer.fusedEvictPasses);
+    put(s, std::uint64_t(layer.act));
+    put(s, layer.inputBytesOverride);
+    put(s, layer.outputBytesOverride);
+    return s;
+}
+
+SimCache::SimCache(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+bool
+SimCache::lookup(const std::string &key, core::SimResult &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    out = it->second.value;
+    return true;
+}
+
+void
+SimCache::insert(const std::string &key, const core::SimResult &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Concurrent misses on one key both simulate; the results
+        // are identical, so last-writer-wins is safe.
+        it->second.value = value;
+        lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+        return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{value, lru_.begin()});
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+SimCache::Stats
+SimCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = map_.size();
+    return s;
+}
+
+void
+SimCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+}
+
+std::string
+SimCache::summary() const
+{
+    const Stats s = stats();
+    std::ostringstream os;
+    os << "sim-cache: " << s.hits << " hits, " << s.misses
+       << " misses, " << s.entries << " entries, " << s.evictions
+       << " evictions (" << int(100.0 * s.hitRate() + 0.5)
+       << "% hit rate)";
+    return os.str();
+}
+
+} // namespace runtime
+} // namespace ascend

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SimSession implementation.
+ */
+
+#include "runtime/sim_session.hh"
+
+#include "runtime/thread_pool.hh"
+
+namespace ascend {
+namespace runtime {
+
+const std::shared_ptr<SimCache> &
+SimSession::processCache()
+{
+    static const std::shared_ptr<SimCache> cache =
+        std::make_shared<SimCache>();
+    return cache;
+}
+
+SimSession::SimSession(const arch::CoreConfig &config,
+                       compiler::CompileOptions options,
+                       std::shared_ptr<SimCache> cache)
+    : options_(options),
+      layerCompiler_(config, options),
+      sim_(config),
+      cache_(cache ? std::move(cache) : processCache()),
+      sessionKey_(fingerprint(config) + fingerprint(options))
+{
+}
+
+core::SimResult
+SimSession::runLayer(const model::Layer &layer) const
+{
+    const std::string key = sessionKey_ + fingerprint(layer);
+    core::SimResult result;
+    if (cache_->lookup(key, result))
+        return result;
+    result = sim_.run(layerCompiler_.compile(layer));
+    cache_->insert(key, result);
+    return result;
+}
+
+std::vector<LayerRun>
+SimSession::runInference(const model::Network &net) const
+{
+    std::vector<LayerRun> runs(net.layers.size());
+    parallelFor(net.layers.size(), [&](std::size_t i) {
+        runs[i].layer = net.layers[i];
+        runs[i].result = runLayer(net.layers[i]);
+    });
+    return runs;
+}
+
+std::vector<std::vector<LayerRun>>
+SimSession::runTraining(const model::Network &net,
+                        model::OptimizerKind opt) const
+{
+    const auto steps = model::trainingSteps(net, opt);
+    std::vector<std::vector<LayerRun>> runs(steps.size());
+    parallelFor(steps.size(), [&](std::size_t i) {
+        const model::TrainingStep &step = steps[i];
+        std::vector<LayerRun> &out = runs[i];
+        out.resize(1 + step.bwd.size());
+        out[0].layer = step.fwd;
+        out[0].result = runLayer(step.fwd);
+        for (std::size_t j = 0; j < step.bwd.size(); ++j) {
+            out[1 + j].layer = step.bwd[j];
+            out[1 + j].result = runLayer(step.bwd[j]);
+        }
+    });
+    return runs;
+}
+
+core::SimResult
+SimSession::inferenceResult(const model::Network &net) const
+{
+    core::SimResult total;
+    for (const LayerRun &run : runInference(net))
+        total.accumulate(run.result);
+    return total;
+}
+
+} // namespace runtime
+} // namespace ascend

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SimSession: the single entry point for "run this layer/network on
+ * this core".
+ *
+ * Before this layer existed, 17 binaries hand-rolled the same
+ * compile -> simulate -> aggregate loop through compiler::Profiler,
+ * each re-simulating identical layer shapes from scratch on one
+ * thread. A SimSession owns the pieces of that loop — a CoreConfig,
+ * a LayerCompiler, a CoreSim — plus a (shareable) SimCache, so:
+ *
+ *  - repeated (config, options, layer-shape) triples are memoized
+ *    across layers, networks, benches within a process;
+ *  - per-layer network profiling fans out over the runtime thread
+ *    pool with index-ordered results (byte-identical output at any
+ *    ASCEND_THREADS setting);
+ *  - compiler::Profiler survives as a thin source-compatible shim
+ *    over this class.
+ *
+ * Sessions default to one process-wide cache: sweeps that vary the
+ * config still share entries for everything the sweep holds fixed.
+ */
+
+#ifndef ASCEND_RUNTIME_SIM_SESSION_HH
+#define ASCEND_RUNTIME_SIM_SESSION_HH
+
+#include <memory>
+
+#include "compiler/layer_compiler.hh"
+#include "core/core_sim.hh"
+#include "model/network.hh"
+#include "runtime/profile.hh"
+#include "runtime/sim_cache.hh"
+
+namespace ascend {
+namespace runtime {
+
+/**
+ * Compile-and-simulate service for one core configuration.
+ */
+class SimSession
+{
+  public:
+    /**
+     * @param config The core design point to simulate.
+     * @param options Compilation knobs applied to every layer.
+     * @param cache Memo shared with other sessions; nullptr selects
+     *        the process-wide cache.
+     */
+    explicit SimSession(const arch::CoreConfig &config,
+                        compiler::CompileOptions options = {},
+                        std::shared_ptr<SimCache> cache = nullptr);
+
+    /** Compile and simulate one layer, memoized. */
+    core::SimResult runLayer(const model::Layer &layer) const;
+
+    /** Compile and simulate every layer of @p net (inference). */
+    std::vector<LayerRun> runInference(const model::Network &net) const;
+
+    /**
+     * Compile and simulate forward and backward work (one training
+     * step without the optimizer's host-side work). The returned runs
+     * are indexed like trainingSteps(net): runs for step i contain
+     * the forward layer followed by its backward layers.
+     */
+    std::vector<std::vector<LayerRun>>
+    runTraining(const model::Network &net,
+                model::OptimizerKind opt =
+                    model::OptimizerKind::Sgd) const;
+
+    /** End-to-end simulation of a network; sums per-layer results. */
+    core::SimResult inferenceResult(const model::Network &net) const;
+
+    const arch::CoreConfig &config() const { return sim_.config(); }
+    const compiler::CompileOptions &options() const { return options_; }
+    const compiler::LayerCompiler &layerCompiler() const
+    {
+        return layerCompiler_;
+    }
+
+    /** The memo this session reads and writes. */
+    SimCache &cache() const { return *cache_; }
+    const std::shared_ptr<SimCache> &cachePtr() const { return cache_; }
+
+    /** The process-wide cache all default-constructed sessions share. */
+    static const std::shared_ptr<SimCache> &processCache();
+
+  private:
+    compiler::CompileOptions options_;
+    compiler::LayerCompiler layerCompiler_;
+    core::CoreSim sim_;
+    std::shared_ptr<SimCache> cache_;
+    std::string sessionKey_; ///< fingerprint(config) + fingerprint(options)
+};
+
+} // namespace runtime
+} // namespace ascend
+
+#endif // ASCEND_RUNTIME_SIM_SESSION_HH

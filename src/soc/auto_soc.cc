@@ -27,8 +27,8 @@ vectorCoreOptions()
 AutoSoc::AutoSoc(AutoSocConfig config)
     : config_(std::move(config)),
       core_(arch::makeCoreConfig(config_.coreVersion)),
-      profiler_(core_),
-      vectorCoreProfiler_(core_, vectorCoreOptions())
+      session_(core_),
+      vectorCoreSession_(core_, vectorCoreOptions())
 {
     simAssert(config_.aiCores > 0, "auto SoC needs AI cores");
 }
@@ -36,7 +36,7 @@ AutoSoc::AutoSoc(AutoSocConfig config)
 double
 AutoSoc::slamLatencySeconds(const model::Network &net) const
 {
-    const core::SimResult r = vectorCoreProfiler_.inferenceResult(net);
+    const core::SimResult r = vectorCoreSession_.inferenceResult(net);
     const double mem_sec =
         double(r.extBytes()) / config_.dram.bandwidthBytesPerSec;
     return std::max(r.seconds(core_.clockGhz), mem_sec);
@@ -68,7 +68,7 @@ AutoSoc::frameLatencySeconds(
     double worst_compute = 0;
     Bytes total_ext = 0;
     for (const model::Network *net : nets) {
-        const core::SimResult r = profiler_.inferenceResult(*net);
+        const core::SimResult r = session_.inferenceResult(*net);
         worst_compute = std::max(worst_compute, r.seconds(core_.clockGhz));
         total_ext += r.extBytes();
     }

@@ -11,8 +11,8 @@
 #ifndef ASCEND_SOC_AUTO_SOC_HH
 #define ASCEND_SOC_AUTO_SOC_HH
 
-#include "compiler/profiler.hh"
 #include "memory/llc.hh"
+#include "runtime/sim_session.hh"
 #include "soc/soc_config.hh"
 
 namespace ascend {
@@ -73,8 +73,8 @@ class AutoSoc
   private:
     AutoSocConfig config_;
     arch::CoreConfig core_;
-    compiler::Profiler profiler_;
-    compiler::Profiler vectorCoreProfiler_;
+    runtime::SimSession session_;
+    runtime::SimSession vectorCoreSession_;
 };
 
 } // namespace soc

@@ -16,8 +16,8 @@ MobileSoc::MobileSoc(MobileSocConfig config)
     : config_(std::move(config)),
       lite_(arch::makeCoreConfig(arch::CoreVersion::Lite)),
       tiny_(arch::makeCoreConfig(arch::CoreVersion::Tiny)),
-      liteProfiler_(lite_),
-      tinyProfiler_(tiny_)
+      liteSession_(lite_),
+      tinySession_(tiny_)
 {
 }
 
@@ -58,15 +58,15 @@ MobileSoc::npuAreaMm2() const
 }
 
 double
-MobileSoc::coreLatencySeconds(const compiler::Profiler &profiler,
+MobileSoc::coreLatencySeconds(const runtime::SimSession &session,
                               const model::Network &net) const
 {
-    const arch::CoreConfig &core = profiler.config();
+    const arch::CoreConfig &core = session.config();
     core::SimResult total;
     std::size_t ops = 0;
     // Per-layer simulation plus the framework's per-operator dispatch
     // overhead (NNAPI/driver path).
-    for (const auto &run : profiler.runInference(net)) {
+    for (const auto &run : session.runInference(net)) {
         total.accumulate(run.result);
         ++ops;
     }
@@ -81,13 +81,13 @@ MobileSoc::coreLatencySeconds(const compiler::Profiler &profiler,
 double
 MobileSoc::liteLatencySeconds(const model::Network &net) const
 {
-    return coreLatencySeconds(liteProfiler_, net);
+    return coreLatencySeconds(liteSession_, net);
 }
 
 double
 MobileSoc::tinyLatencySeconds(const model::Network &net) const
 {
-    return coreLatencySeconds(tinyProfiler_, net);
+    return coreLatencySeconds(tinySession_, net);
 }
 
 double

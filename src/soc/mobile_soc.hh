@@ -9,7 +9,7 @@
 #ifndef ASCEND_SOC_MOBILE_SOC_HH
 #define ASCEND_SOC_MOBILE_SOC_HH
 
-#include "compiler/profiler.hh"
+#include "runtime/sim_session.hh"
 #include "soc/soc_config.hh"
 
 namespace ascend {
@@ -61,14 +61,14 @@ class MobileSoc
     const arch::CoreConfig &tinyConfig() const { return tiny_; }
 
   private:
-    double coreLatencySeconds(const compiler::Profiler &profiler,
+    double coreLatencySeconds(const runtime::SimSession &session,
                               const model::Network &net) const;
 
     MobileSocConfig config_;
     arch::CoreConfig lite_;
     arch::CoreConfig tiny_;
-    compiler::Profiler liteProfiler_;
-    compiler::Profiler tinyProfiler_;
+    runtime::SimSession liteSession_;
+    runtime::SimSession tinySession_;
 };
 
 } // namespace soc

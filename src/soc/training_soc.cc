@@ -53,7 +53,7 @@ streamTensor(memory::Llc &llc, std::uint64_t base, Bytes bytes)
 TrainingSoc::TrainingSoc(TrainingSocConfig config)
     : config_(std::move(config)),
       coreConfig_(arch::makeCoreConfig(config_.coreVersion)),
-      profiler_(coreConfig_)
+      session_(coreConfig_)
 {
     simAssert(config_.aiCores > 0, "SoC needs at least one AI core");
 }
@@ -99,14 +99,14 @@ TrainingSoc::runStep(const model::Network &net, bool training,
         ph.extOut += r.bus(isa::Bus::ExtOut);
     };
     if (training) {
-        const auto steps = profiler_.runTraining(net, opt);
+        const auto steps = session_.runTraining(net, opt);
         for (std::size_t i = 0; i < n; ++i) {
             fill(fwd[i], steps[i][0].result);
             for (std::size_t j = 1; j < steps[i].size(); ++j)
                 fill(bwd[i], steps[i][j].result);
         }
     } else {
-        const auto runs = profiler_.runInference(net);
+        const auto runs = session_.runInference(net);
         for (std::size_t i = 0; i < n; ++i)
             fill(fwd[i], runs[i].result);
     }

@@ -19,9 +19,9 @@
 #ifndef ASCEND_SOC_TRAINING_SOC_HH
 #define ASCEND_SOC_TRAINING_SOC_HH
 
-#include "compiler/profiler.hh"
 #include "memory/llc.hh"
 #include "model/network.hh"
+#include "runtime/sim_session.hh"
 #include "soc/soc_config.hh"
 
 namespace ascend {
@@ -85,7 +85,7 @@ class TrainingSoc
 
     TrainingSocConfig config_;
     arch::CoreConfig coreConfig_;
-    compiler::Profiler profiler_;
+    runtime::SimSession session_;
 };
 
 } // namespace soc
