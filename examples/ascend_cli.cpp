@@ -23,6 +23,7 @@
 #include <string>
 
 #include "arch/config_io.hh"
+#include "common/error.hh"
 #include "common/table.hh"
 #include "runtime/sim_session.hh"
 #include "core/trace.hh"
@@ -174,7 +175,11 @@ main(int argc, char **argv)
         if (!in)
             fatal("cannot open config file '%s'",
                   opt.configFile.c_str());
-        cfg = arch::readConfig(in, cfg);
+        try {
+            cfg = arch::readConfig(in, cfg);
+        } catch (const Error &e) {
+            fatal("%s: %s", opt.configFile.c_str(), e.what());
+        }
     }
     if (opt.dumpConfig) {
         arch::writeConfig(cfg, std::cout);

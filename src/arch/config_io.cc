@@ -5,12 +5,13 @@
 
 #include "arch/config_io.hh"
 
+#include <cmath>
 #include <functional>
 #include <map>
 #include <ostream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace ascend {
 namespace arch {
@@ -35,8 +36,9 @@ parseU64(const std::string &key, const std::string &value)
             throw std::invalid_argument(value);
         return v;
     } catch (const std::exception &) {
-        fatal("config: bad integer '%s' for key %s", value.c_str(),
-              key.c_str());
+        throwError(ErrorCode::ConfigParse,
+                   "config: bad integer '%s' for key %s", value.c_str(),
+                   key.c_str());
     }
 }
 
@@ -46,12 +48,13 @@ parseDouble(const std::string &key, const std::string &value)
     try {
         std::size_t pos = 0;
         const double v = std::stod(value, &pos);
-        if (pos != value.size())
+        if (pos != value.size() || !std::isfinite(v))
             throw std::invalid_argument(value);
         return v;
     } catch (const std::exception &) {
-        fatal("config: bad number '%s' for key %s", value.c_str(),
-              key.c_str());
+        throwError(ErrorCode::ConfigParse,
+                   "config: bad number '%s' for key %s", value.c_str(),
+                   key.c_str());
     }
 }
 
@@ -62,8 +65,9 @@ parseBool(const std::string &key, const std::string &value)
         return true;
     if (value == "false" || value == "0")
         return false;
-    fatal("config: bad bool '%s' for key %s", value.c_str(),
-          key.c_str());
+    throwError(ErrorCode::ConfigParse,
+               "config: bad bool '%s' for key %s", value.c_str(),
+               key.c_str());
 }
 
 const std::vector<Field> &
@@ -181,14 +185,16 @@ readConfig(std::istream &is, const CoreConfig &base)
             continue;
         const auto eq = body.find('=');
         if (eq == std::string::npos)
-            fatal("config line %d: expected 'key = value', got '%s'",
-                  line_no, body.c_str());
+            throwError(ErrorCode::ConfigParse,
+                       "config line %d: expected 'key = value', got "
+                       "'%s'", line_no, body.c_str());
         const std::string key = trim(body.substr(0, eq));
         const std::string value = trim(body.substr(eq + 1));
         const auto it = by_key.find(key);
         if (it == by_key.end())
-            fatal("config line %d: unknown key '%s'", line_no,
-                  key.c_str());
+            throwError(ErrorCode::ConfigParse,
+                       "config line %d: unknown key '%s'", line_no,
+                       key.c_str());
         it->second->set(config, value);
     }
     config.validate();

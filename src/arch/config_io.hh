@@ -28,8 +28,10 @@ std::string configToString(const CoreConfig &config);
 
 /**
  * Parse a configuration: starts from @p base and applies every
- * `key = value` line in @p is. Fatal on unknown keys or malformed
- * values (user error). The result is validate()d.
+ * `key = value` line in @p is. Throws ascend::Error with code
+ * ConfigParse on unknown keys or malformed values (user error, and
+ * callers can recover); the result is validate()d, which throws
+ * ConfigValidation on out-of-range fields.
  */
 CoreConfig readConfig(std::istream &is,
                       const CoreConfig &base = makeCoreConfig(

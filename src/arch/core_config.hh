@@ -111,7 +111,11 @@ struct CoreConfig
         return cubeShapeFor(dt).flopsPerCycle() * clockGhz * 1e9;
     }
 
-    /** Sanity-check internal consistency; panics on violations. */
+    /**
+     * Reject inconsistent or out-of-range fields (zero clock, empty
+     * buffers, ...). Throws ascend::Error with code ConfigValidation
+     * so callers loading user-supplied configs can recover.
+     */
     void validate() const;
 };
 

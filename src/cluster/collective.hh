@@ -28,6 +28,14 @@ struct ServerConfig
     double hccsBytesPerSec = 30e9;  ///< intra-group, per chip
     double pcieBytesPerSec = 32e9;  ///< inter-group bus
     double linkLatencySec = 2e-6;
+
+    /**
+     * Reject degenerate topologies and non-finite / non-positive
+     * bandwidths or latencies; throws ascend::Error with code
+     * ConfigValidation (zero bandwidth would otherwise propagate as
+     * silent inf/NaN through every time formula downstream).
+     */
+    void validate() const;
 };
 
 /** A fat-tree cluster of servers (Fig. 15 upper half). */
@@ -39,7 +47,24 @@ struct ClusterConfig
     double netLatencySec = 5e-6;
 
     unsigned totalChips() const { return servers * server.chips; }
+
+    /** Validate the fat tree and the embedded server; see above. */
+    void validate() const;
 };
+
+/**
+ * Parse a cluster description: starts from @p base and applies
+ * `key = value` lines (keys: chips, chips_per_group,
+ * hccs_bytes_per_sec, pcie_bytes_per_sec, link_latency_sec, servers,
+ * net_bytes_per_sec, net_latency_sec; `#` comments). Throws
+ * ascend::Error(ConfigParse) on malformed text and the result is
+ * validate()d before it is returned.
+ */
+ClusterConfig clusterConfigFromString(const std::string &text,
+                                      const ClusterConfig &base = {});
+
+/** Serialize @p config as `key = value` lines (round-trips). */
+std::string clusterConfigToString(const ClusterConfig &config);
 
 /** Allreduce algorithm families (Section 4.2 software stack). */
 enum class CollectiveAlgo { Ring, HalvingDoubling, Tree };
@@ -82,6 +107,14 @@ double hierarchicalAllreduceSeconds(const ClusterConfig &cluster,
 
 /** Allreduce across the eight chips of one server only. */
 double serverAllreduceSeconds(const ServerConfig &server, Bytes bytes);
+
+/**
+ * Allreduce time for a job spanning @p chips chips: within one
+ * (possibly partial) server it degrades to the server collective,
+ * beyond it to the hierarchical form over ceil(chips/8) servers.
+ */
+double jobAllreduceSeconds(const ClusterConfig &cluster, Bytes bytes,
+                           unsigned chips);
 
 /**
  * Data-parallel synchronous-SGD throughput model.

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace ascend {
@@ -17,11 +18,70 @@ using isa::Pipe;
 using model::Layer;
 using model::LayerKind;
 
+namespace {
+
+/**
+ * Reject malformed layer shapes before lowering. Zero dims would
+ * silently produce empty or nonsensical programs (or divide by zero
+ * in the cost model), so surface them as InvalidLayer errors the
+ * caller can attribute to its model description.
+ */
+void
+validateLayer(const Layer &layer)
+{
+    auto reject = [&layer](const char *why) {
+        throwError(ErrorCode::InvalidLayer, "layer %s (%s): %s",
+                   layer.name.c_str(), toString(layer.kind), why);
+    };
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+      case LayerKind::DepthwiseConv2d:
+      case LayerKind::Pool2d:
+        if (layer.batch == 0)
+            reject("batch must be positive");
+        if (layer.inC == 0 || layer.inH == 0 || layer.inW == 0)
+            reject("input dims must be positive");
+        if (layer.outC == 0)
+            reject("output channels must be positive");
+        if (layer.kernelH == 0 || layer.kernelW == 0)
+            reject("kernel dims must be positive");
+        if (layer.strideH == 0 || layer.strideW == 0)
+            reject("strides must be positive");
+        if (layer.kernelH > layer.inH + 2 * layer.padH ||
+            layer.kernelW > layer.inW + 2 * layer.padW)
+            reject("kernel larger than padded input");
+        break;
+      case LayerKind::Linear:
+      case LayerKind::BatchedMatmul:
+        if (layer.gemmM == 0 || layer.gemmK == 0 || layer.gemmN == 0)
+            reject("GEMM dims must be positive");
+        if (layer.matmulCount == 0)
+            reject("matmul count must be positive");
+        break;
+      case LayerKind::LayerNorm:
+      case LayerKind::Softmax:
+        if (layer.elems == 0)
+            reject("element count must be positive");
+        if (layer.rowLen == 0)
+            reject("row length must be positive");
+        break;
+      default:
+        if (layer.elems == 0)
+            reject("element count must be positive");
+        break;
+    }
+}
+
+} // anonymous namespace
+
 LayerCompiler::LayerCompiler(const arch::CoreConfig &config,
                              CompileOptions options)
     : config_(config), cost_(config), options_(options)
 {
-    simAssert(options_.pipelineDepth >= 1, "pipeline depth must be >= 1");
+    if (options_.pipelineDepth < 1)
+        throwError(ErrorCode::ConfigValidation,
+                   "pipeline depth must be >= 1, got %u",
+                   options_.pipelineDepth);
 }
 
 double
@@ -131,6 +191,33 @@ LayerCompiler::compileGemmWithTile(const Layer &layer,
 {
     simAssert(layer.isCubeLayer(),
               "compileGemmWithTile needs a cube layer");
+    validateLayer(layer);
+    // Caller-chosen tiles (the autotiler, sweeps) can request more
+    // than the L0 buffers hold even single-buffered; report instead
+    // of silently compiling an unexecutable program.
+    const Bytes es = bytesOf(layer.dtype);
+    const Bytes accum_es = 4;
+    if (tile.mt == 0 || tile.kt == 0 || tile.nt == 0)
+        throwError(ErrorCode::TileTooLarge,
+                   "layer %s: tile dims must be positive",
+                   layer.name.c_str());
+    if (tile.mt * tile.kt * es > config_.l0aBytes ||
+        tile.kt * tile.nt * es > config_.l0bBytes ||
+        tile.mt * tile.nt * accum_es > config_.l0cBytes)
+        throwError(ErrorCode::TileTooLarge,
+                   "layer %s: tile %llux%llux%llu overflows L0 "
+                   "(A %llu/%llu B %llu/%llu C %llu/%llu bytes)",
+                   layer.name.c_str(),
+                   static_cast<unsigned long long>(tile.mt),
+                   static_cast<unsigned long long>(tile.kt),
+                   static_cast<unsigned long long>(tile.nt),
+                   static_cast<unsigned long long>(tile.mt * tile.kt * es),
+                   static_cast<unsigned long long>(config_.l0aBytes),
+                   static_cast<unsigned long long>(tile.kt * tile.nt * es),
+                   static_cast<unsigned long long>(config_.l0bBytes),
+                   static_cast<unsigned long long>(
+                       tile.mt * tile.nt * accum_es),
+                   static_cast<unsigned long long>(config_.l0cBytes));
     isa::Program prog(layer.name);
     compileGemm(prog, layer, tile);
     return prog;
@@ -388,6 +475,7 @@ LayerCompiler::compileVector(isa::Program &prog, const Layer &layer) const
 isa::Program
 LayerCompiler::compile(const Layer &layer) const
 {
+    validateLayer(layer);
     isa::Program prog(layer.name);
     if (layer.isCubeLayer() && !options_.mapGemmToVector) {
         std::uint64_t m, k, n;

@@ -88,15 +88,23 @@ struct CompileOptions
 class LayerCompiler
 {
   public:
+    /** Throws ascend::Error(ConfigValidation) on bad options. */
     explicit LayerCompiler(const arch::CoreConfig &config,
                            CompileOptions options = {});
 
-    /** Lower @p layer to a complete program. */
+    /**
+     * Lower @p layer to a complete program. Throws
+     * ascend::Error(InvalidLayer) on malformed shapes (zero dims,
+     * kernel larger than the padded input, ...).
+     */
     isa::Program compile(const model::Layer &layer) const;
 
     /**
      * Lower a GEMM-like layer with an explicitly chosen tile (the
      * auto-tiler's entry point). @p layer must be a cube layer.
+     * Throws ascend::Error(InvalidLayer) on malformed shapes and
+     * ascend::Error(TileTooLarge) when the tile overflows the L0
+     * buffers even single-buffered.
      */
     isa::Program compileGemmWithTile(const model::Layer &layer,
                                      const GemmTile &tile) const;

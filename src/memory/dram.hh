@@ -16,12 +16,26 @@
 namespace ascend {
 namespace memory {
 
+/**
+ * ECC error-rate knob. Rates are expressed per GiB transferred so
+ * they scale with traffic, not wall time. All rates default to zero,
+ * and a zero-rate model is bit-for-bit identical to one without ECC
+ * accounting.
+ */
+struct EccConfig
+{
+    double correctablePerGiB = 0;   ///< expected SEC-DED corrections
+    double correctableStallSec = 0; ///< scrub/stall cost per correction
+    double uncorrectablePerGiB = 0; ///< expected fatal (DUE) events
+};
+
 /** Static description of a memory device. */
 struct DramConfig
 {
     std::string name = "hbm";
     double bandwidthBytesPerSec = 1.2e12; ///< Ascend 910: 1.2 TB/s HBM
     double latencySec = 120e-9;           ///< first-word latency
+    EccConfig ecc;
 };
 
 /** Accumulating service-time model. */
@@ -43,6 +57,58 @@ class DramModel
     streamTime(Bytes bytes) const
     {
         return static_cast<double>(bytes) / config_.bandwidthBytesPerSec;
+    }
+
+    /** Expected correctable-error count while moving @p bytes. */
+    double
+    expectedCorrectable(Bytes bytes) const
+    {
+        return config_.ecc.correctablePerGiB *
+               (static_cast<double>(bytes) / double(kGiB));
+    }
+
+    /** Expected uncorrectable-error count while moving @p bytes. */
+    double
+    expectedUncorrectable(Bytes bytes) const
+    {
+        return config_.ecc.uncorrectablePerGiB *
+               (static_cast<double>(bytes) / double(kGiB));
+    }
+
+    /** Expected stall seconds from ECC corrections on @p bytes. */
+    double
+    eccStallTime(Bytes bytes) const
+    {
+        if (config_.ecc.correctablePerGiB <= 0)
+            return 0.0;
+        return expectedCorrectable(bytes) *
+               config_.ecc.correctableStallSec;
+    }
+
+    /**
+     * Service time including the expected ECC correction stall.
+     * Bitwise equal to serviceTime() when the correctable rate is
+     * zero (the stall term is never added, not added-as-zero).
+     */
+    double
+    serviceTimeWithEcc(Bytes bytes) const
+    {
+        const double base = serviceTime(bytes);
+        if (config_.ecc.correctablePerGiB <= 0)
+            return base;
+        return base + eccStallTime(bytes);
+    }
+
+    /**
+     * Uncorrectable events per second while streaming at full
+     * bandwidth; feeds checkpoint/restart models
+     * (resilience::timeWithCheckpointRestart).
+     */
+    double
+    uncorrectablePerSecAtFullBandwidth() const
+    {
+        return config_.ecc.uncorrectablePerGiB *
+               (config_.bandwidthBytesPerSec / double(kGiB));
     }
 
     /** Record an access (for utilization statistics). */

@@ -14,25 +14,25 @@ namespace memory {
 DramConfig
 hbm2Ascend910()
 {
-    return DramConfig{"hbm2", 1.2e12, 120e-9};
+    return DramConfig{"hbm2", 1.2e12, 120e-9, {}};
 }
 
 DramConfig
 lpddr4xMobile()
 {
-    return DramConfig{"lpddr4x", 34e9, 100e-9};
+    return DramConfig{"lpddr4x", 34e9, 100e-9, {}};
 }
 
 DramConfig
 ddrAutomotive()
 {
-    return DramConfig{"lpddr5-auto", 64e9, 110e-9};
+    return DramConfig{"lpddr5-auto", 64e9, 110e-9, {}};
 }
 
 DramConfig
 ddrIot()
 {
-    return DramConfig{"ddr-iot", 8e9, 90e-9};
+    return DramConfig{"ddr-iot", 8e9, 90e-9, {}};
 }
 
 Llc::Llc(LlcConfig config) : config_(config)

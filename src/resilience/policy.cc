@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Recovery-policy math.
+ */
+
+#include "resilience/policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace resilience {
+
+const char *
+toString(DegradedMode mode)
+{
+    switch (mode) {
+      case DegradedMode::ContinueDegraded: return "continue-degraded";
+      case DegradedMode::FailStop:         return "fail-stop";
+    }
+    return "?";
+}
+
+double
+retryDelaySeconds(const RetryPolicy &policy, unsigned attempt)
+{
+    double delay = policy.backoffBaseSec;
+    for (unsigned i = 0; i < attempt; ++i) {
+        delay *= policy.backoffMultiplier;
+        if (delay >= policy.backoffCapSec)
+            return policy.backoffCapSec;
+    }
+    return std::min(delay, policy.backoffCapSec);
+}
+
+double
+timeWithCheckpointRestart(double work_sec, double events_per_sec,
+                          const CheckpointPolicy &policy)
+{
+    simAssert(work_sec >= 0 && events_per_sec >= 0,
+              "checkpoint model needs non-negative inputs");
+    if (events_per_sec == 0 && !policy.enabled)
+        return work_sec;
+    double total = work_sec;
+    double rework_per_event;
+    if (policy.enabled) {
+        simAssert(policy.intervalSec > 0,
+                  "checkpoint interval must be positive");
+        // Periodic save cost over the whole run...
+        total += work_sec / policy.intervalSec * policy.saveSec;
+        // ...and each error loses half an interval plus the restart.
+        rework_per_event = policy.restartSec + 0.5 * policy.intervalSec;
+    } else {
+        // No checkpoints: an error loses everything accumulated so
+        // far; on average half the run is repeated per event.
+        rework_per_event = 0.5 * work_sec;
+    }
+    // First-order expected cost: events strike during the base work.
+    total += events_per_sec * work_sec * rework_per_event;
+    return total;
+}
+
+} // namespace resilience
+} // namespace ascend

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Recovery-policy models: what the stack *does* when a scheduled
+ * fault strikes.
+ *
+ * Three mechanisms cover the production playbook:
+ *  - RetryPolicy: bounded retries with exponential backoff and a
+ *    per-attempt timeout, applied to collective steps whose link is
+ *    down (cluster/fault_collective);
+ *  - CheckpointPolicy: periodic checkpoint cost plus expected rework
+ *    on an uncorrectable error (half an interval is lost on average,
+ *    then a restart);
+ *  - DegradedMode: when retries are exhausted, either continue at
+ *    reduced bandwidth (graceful degradation) or fail-stop and report
+ *    the time-to-failure.
+ *
+ * Everything here is closed-form arithmetic on doubles: deterministic,
+ * thread-count independent, and exactly zero-cost when no fault fires.
+ */
+
+#ifndef ASCEND_RESILIENCE_POLICY_HH
+#define ASCEND_RESILIENCE_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ascend {
+namespace resilience {
+
+/** What to do once retries are exhausted. */
+enum class DegradedMode {
+    ContinueDegraded, ///< keep going at `degradedBandwidthFactor`
+    FailStop,         ///< abort the run; report time-to-failure
+};
+
+const char *toString(DegradedMode mode);
+
+/** Bounded retry with exponential backoff. */
+struct RetryPolicy
+{
+    unsigned maxRetries = 3;
+    double timeoutSec = 1e-3;       ///< time burned per failed attempt
+    double backoffBaseSec = 1e-4;   ///< sleep after the first failure
+    double backoffMultiplier = 2.0; ///< growth per further failure
+    double backoffCapSec = 1e-1;    ///< backoff saturation
+    /** Bandwidth multiplier once ContinueDegraded kicks in. */
+    double degradedBandwidthFactor = 0.25;
+};
+
+/** Backoff sleep before retry number @p attempt (0-based). */
+double retryDelaySeconds(const RetryPolicy &policy, unsigned attempt);
+
+/** Checkpoint/restart cost model for uncorrectable errors. */
+struct CheckpointPolicy
+{
+    bool enabled = false;
+    double intervalSec = 60.0; ///< checkpoint cadence
+    double saveSec = 2.0;      ///< cost of writing one checkpoint
+    double restartSec = 10.0;  ///< reload + re-setup after a loss
+};
+
+/**
+ * Expected wall time to finish @p work_sec of compute when
+ * uncorrectable errors strike at @p events_per_sec and @p policy
+ * governs recovery. With checkpointing disabled, any error loses all
+ * progress so far (modeled as restarting half the work on average);
+ * enabled, each error loses restartSec plus half an interval, and
+ * every interval pays saveSec. Exactly @p work_sec when the error
+ * rate is zero and checkpointing is disabled.
+ */
+double timeWithCheckpointRestart(double work_sec, double events_per_sec,
+                                 const CheckpointPolicy &policy);
+
+/**
+ * Per-session degraded-mode knobs threaded through runtime::SimSession.
+ * Fingerprinted into every cache key, so faulty runs and fault-free
+ * runs can never serve each other's memoized results.
+ */
+struct ResilienceOptions
+{
+    bool enabled = false;
+    /** Seed for fault schedules derived on behalf of this session. */
+    std::uint64_t faultSeed = 0;
+    /**
+     * Straggler derate applied to simulated layer latencies (wall
+     * clock stretches by this factor; >= 1). 1.0 is a no-op and
+     * reproduces the fault-free result bit-for-bit.
+     */
+    double stragglerSlowdown = 1.0;
+};
+
+} // namespace resilience
+} // namespace ascend
+
+#endif // ASCEND_RESILIENCE_POLICY_HH

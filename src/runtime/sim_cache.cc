@@ -112,6 +112,18 @@ fingerprint(const model::Layer &layer)
     return s;
 }
 
+std::string
+fingerprint(const resilience::ResilienceOptions &options)
+{
+    std::string s;
+    s.reserve(48);
+    s += "res:";
+    put(s, options.enabled);
+    put(s, options.faultSeed);
+    putDouble(s, options.stragglerSlowdown);
+    return s;
+}
+
 SimCache::SimCache(std::size_t capacity)
     : capacity_(capacity ? capacity : 1)
 {

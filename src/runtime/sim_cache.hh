@@ -35,6 +35,7 @@
 #include "compiler/layer_compiler.hh"
 #include "core/core_sim.hh"
 #include "model/layer.hh"
+#include "resilience/policy.hh"
 
 namespace ascend {
 namespace runtime {
@@ -50,6 +51,12 @@ std::string fingerprint(const compiler::CompileOptions &options);
 
 /** Exact shape fingerprint of a layer (name excluded). */
 std::string fingerprint(const model::Layer &layer);
+
+/**
+ * Exact fingerprint of resilience options. Sessions mix this into
+ * their key so fault-injected runs never alias fault-free entries.
+ */
+std::string fingerprint(const resilience::ResilienceOptions &options);
 
 /**
  * Thread-safe LRU memo: fingerprint key -> SimResult.

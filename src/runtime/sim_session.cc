@@ -5,10 +5,35 @@
 
 #include "runtime/sim_session.hh"
 
+#include <cmath>
+
 #include "runtime/thread_pool.hh"
 
 namespace ascend {
 namespace runtime {
+
+namespace {
+
+/**
+ * Stretch a simulated result by a straggler factor: wall-clock
+ * quantities (total and per-pipe cycle counts) scale, while work
+ * quantities (flops, instructions, bytes) do not.
+ */
+core::SimResult
+derate(core::SimResult r, double slowdown)
+{
+    auto stretch = [slowdown](Cycles c) {
+        return Cycles(std::ceil(double(c) * slowdown));
+    };
+    r.totalCycles = stretch(r.totalCycles);
+    for (core::PipeStats &p : r.pipes) {
+        p.busyCycles = stretch(p.busyCycles);
+        p.finishCycle = stretch(p.finishCycle);
+    }
+    return r;
+}
+
+} // anonymous namespace
 
 const std::shared_ptr<SimCache> &
 SimSession::processCache()
@@ -20,12 +45,15 @@ SimSession::processCache()
 
 SimSession::SimSession(const arch::CoreConfig &config,
                        compiler::CompileOptions options,
-                       std::shared_ptr<SimCache> cache)
+                       std::shared_ptr<SimCache> cache,
+                       resilience::ResilienceOptions res)
     : options_(options),
       layerCompiler_(config, options),
       sim_(config),
       cache_(cache ? std::move(cache) : processCache()),
-      sessionKey_(fingerprint(config) + fingerprint(options))
+      resilience_(res),
+      sessionKey_(fingerprint(config) + fingerprint(options) +
+                  fingerprint(res))
 {
 }
 
@@ -37,6 +65,10 @@ SimSession::runLayer(const model::Layer &layer) const
     if (cache_->lookup(key, result))
         return result;
     result = sim_.run(layerCompiler_.compile(layer));
+    // Straggler derate: only off the bit-for-bit fault-free path when
+    // explicitly enabled with a real slowdown.
+    if (resilience_.enabled && resilience_.stragglerSlowdown > 1.0)
+        result = derate(result, resilience_.stragglerSlowdown);
     cache_->insert(key, result);
     return result;
 }

@@ -46,10 +46,15 @@ class SimSession
      * @param options Compilation knobs applied to every layer.
      * @param cache Memo shared with other sessions; nullptr selects
      *        the process-wide cache.
+     * @param res Fault-injection knobs; the defaults (disabled,
+     *        slowdown 1.0) reproduce fault-free results bit-for-bit
+     *        and share their cache entries. Any other value is mixed
+     *        into the session key so degraded runs cache separately.
      */
     explicit SimSession(const arch::CoreConfig &config,
                         compiler::CompileOptions options = {},
-                        std::shared_ptr<SimCache> cache = nullptr);
+                        std::shared_ptr<SimCache> cache = nullptr,
+                        resilience::ResilienceOptions res = {});
 
     /** Compile and simulate one layer, memoized. */
     core::SimResult runLayer(const model::Layer &layer) const;
@@ -73,6 +78,10 @@ class SimSession
 
     const arch::CoreConfig &config() const { return sim_.config(); }
     const compiler::CompileOptions &options() const { return options_; }
+    const resilience::ResilienceOptions &resilience() const
+    {
+        return resilience_;
+    }
     const compiler::LayerCompiler &layerCompiler() const
     {
         return layerCompiler_;
@@ -90,7 +99,9 @@ class SimSession
     compiler::LayerCompiler layerCompiler_;
     core::CoreSim sim_;
     std::shared_ptr<SimCache> cache_;
-    std::string sessionKey_; ///< fingerprint(config) + fingerprint(options)
+    resilience::ResilienceOptions resilience_;
+    /** fingerprint(config) + fingerprint(options) [+ fingerprint(res)] */
+    std::string sessionKey_;
 };
 
 } // namespace runtime

@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/error.hh"
+
 namespace ascend {
 namespace runtime {
 
@@ -87,9 +89,10 @@ ThreadPool::runJob(Job &job)
         try {
             job.fn(i);
         } catch (...) {
+            // Keep every failure: dropping all but the first would
+            // hide distinct faults from concurrently throwing tasks.
             std::lock_guard<std::mutex> lock(job.errorMutex);
-            if (!job.error)
-                job.error = std::current_exception();
+            job.errors.push_back(std::current_exception());
         }
         if (job.completed.fetch_add(1) + 1 == job.n) {
             // Pair with the waiter's predicate check under mutex_ so
@@ -142,8 +145,25 @@ ThreadPool::parallelFor(std::size_t n,
         if (job_ == job)
             job_.reset();
     }
-    if (job->error)
-        std::rethrow_exception(job->error);
+    // All workers are done with the job here; no lock needed.
+    if (job->errors.size() == 1)
+        std::rethrow_exception(job->errors.front());
+    if (job->errors.size() > 1) {
+        std::string detail;
+        for (const std::exception_ptr &e : job->errors) {
+            detail += "\n  - ";
+            try {
+                std::rethrow_exception(e);
+            } catch (const std::exception &ex) {
+                detail += ex.what();
+            } catch (...) {
+                detail += "(non-standard exception)";
+            }
+        }
+        throwError(ErrorCode::ParallelFailure,
+                   "%zu parallel tasks failed:%s", job->errors.size(),
+                   detail.c_str());
+    }
 }
 
 ThreadPool &

@@ -61,8 +61,11 @@ class ThreadPool
 
     /**
      * Execute fn(i) for every i in [0, n). Blocks until all
-     * iterations complete; rethrows the first captured exception.
-     * Safe to call from inside another parallelFor (runs serially).
+     * iterations complete. If exactly one iteration threw, its
+     * exception is rethrown unchanged; if several threw, every
+     * failure is aggregated into one ascend::Error with code
+     * ParallelFailure (no exception is silently dropped). Safe to
+     * call from inside another parallelFor (runs serially).
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -97,7 +100,8 @@ class ThreadPool
         std::size_t n = 0;
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> completed{0};
-        std::exception_ptr error;
+        /** Every captured exception, in completion order. */
+        std::vector<std::exception_ptr> errors;
         std::mutex errorMutex;
     };
 

@@ -6,6 +6,7 @@
 #include "soc/chip_sim.hh"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 
 #include "common/logging.hh"
@@ -109,6 +110,223 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
     }
 
     ChipSimResult result;
+    result.makespan = now;
+    result.coreFinish.reserve(cores);
+    for (const CoreState &cs : state)
+        result.coreFinish.push_back(cs.finish);
+    result.avgMemUtilization =
+        now > 0 ? bytes_moved / (mem_bytes_per_sec * now) : 0.0;
+    return result;
+}
+
+ChipSimResult
+runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
+           double mem_bytes_per_sec,
+           const resilience::ChipFaultPlan &plan)
+{
+    if (plan.empty()) // bit-for-bit identical to the fault-free path
+        return runChipSim(per_core, mem_bytes_per_sec);
+
+    simAssert(mem_bytes_per_sec > 0, "memory capacity must be positive");
+    const std::size_t cores = per_core.size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    struct CoreState
+    {
+        std::size_t next = 0;       ///< index into own queue
+        CoreTask current;           ///< full values, for restart
+        double computeLeft = 0;
+        double bytesLeft = 0;
+        bool active = false;
+        bool alive = true;
+        double pausedUntil = 0;     ///< transient repair window
+        double slowdown = 1.0;      ///< straggler compute stretch
+        std::size_t eventIdx = 0;   ///< next unapplied fault event
+        double finish = 0;
+    };
+    std::vector<CoreState> state(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        if (c < plan.stragglerFactor.size())
+            state[c].slowdown =
+                std::max(plan.stragglerFactor[c], 1.0);
+
+    ChipSimResult result;
+    std::deque<CoreTask> orphans; ///< work shed by dead cores
+
+    auto start_task = [](CoreState &cs, const CoreTask &t) {
+        cs.current = t;
+        cs.computeLeft = t.computeSeconds;
+        cs.bytesLeft = double(t.memBytes);
+        cs.active = cs.computeLeft > 0 || cs.bytesLeft > 0;
+        return cs.active;
+    };
+
+    // Advance cs to its next non-trivial task: own queue first, then
+    // the orphan pool (lowest-index idle core pulls first since the
+    // callers iterate cores in order).
+    auto load_next = [&](std::size_t c, double now) {
+        CoreState &cs = state[c];
+        while (cs.next < per_core[c].size()) {
+            if (start_task(cs, per_core[c][cs.next]))
+                return;
+            ++cs.next; // zero task: completes instantly
+        }
+        while (!orphans.empty()) {
+            const CoreTask t = orphans.front();
+            orphans.pop_front();
+            ++result.reDispatchedTasks;
+            if (start_task(cs, t))
+                return;
+        }
+        cs.active = false;
+        cs.finish = now;
+    };
+
+    auto events_of = [&](std::size_t c)
+        -> const std::vector<resilience::FaultEvent> & {
+        static const std::vector<resilience::FaultEvent> none;
+        return c < plan.coreEvents.size() ? plan.coreEvents[c] : none;
+    };
+
+    // Apply every fault event due at or before @p now.
+    auto apply_events = [&](double now) {
+        for (std::size_t c = 0; c < cores; ++c) {
+            CoreState &cs = state[c];
+            const auto &events = events_of(c);
+            while (cs.eventIdx < events.size() &&
+                   events[cs.eventIdx].timeSec <= now) {
+                const resilience::FaultEvent &e = events[cs.eventIdx];
+                ++cs.eventIdx;
+                if (!cs.alive)
+                    continue;
+                ++result.coreFailures;
+                if (e.kind == resilience::FaultKind::CorePermanent) {
+                    cs.alive = false;
+                    cs.finish = e.timeSec;
+                    if (cs.active) // shed in-flight task, restarted
+                        orphans.push_back(cs.current);
+                    for (std::size_t i = cs.next + (cs.active ? 1 : 0);
+                         i < per_core[c].size(); ++i)
+                        orphans.push_back(per_core[c][i]);
+                    cs.next = per_core[c].size();
+                    cs.active = false;
+                } else { // transient: pause and restart from scratch
+                    cs.pausedUntil = std::max(
+                        cs.pausedUntil, e.timeSec + e.durationSec);
+                    if (cs.active) {
+                        cs.computeLeft = cs.current.computeSeconds;
+                        cs.bytesLeft = double(cs.current.memBytes);
+                    }
+                }
+            }
+        }
+    };
+
+    double now = 0;
+    double bytes_moved = 0;
+    apply_events(now);
+    for (std::size_t c = 0; c < cores; ++c)
+        if (state[c].alive)
+            load_next(c, now);
+
+    int guard = 0;
+    const int guard_limit = 4 * 1000 * 1000;
+    while (true) {
+        // Idle survivors pick up orphaned work as it appears.
+        for (std::size_t c = 0; c < cores && !orphans.empty(); ++c)
+            if (state[c].alive && !state[c].active)
+                load_next(c, now);
+
+        // A core makes progress only when alive and out of repair.
+        auto running = [&](const CoreState &cs) {
+            return cs.active && cs.alive && now >= cs.pausedUntil;
+        };
+
+        unsigned mem_active = 0;
+        bool any_running = false;
+        bool any_pending = false;
+        for (const CoreState &cs : state) {
+            if (!cs.active)
+                continue;
+            any_pending = true;
+            if (!running(cs))
+                continue;
+            any_running = true;
+            if (cs.bytesLeft > 0)
+                ++mem_active;
+        }
+
+        // Next external wake-up: fault events and repair completions.
+        double wake = inf;
+        for (std::size_t c = 0; c < cores; ++c) {
+            const CoreState &cs = state[c];
+            const auto &events = events_of(c);
+            if (cs.alive && cs.eventIdx < events.size())
+                wake = std::min(wake, events[cs.eventIdx].timeSec);
+            if (cs.active && cs.alive && cs.pausedUntil > now)
+                wake = std::min(wake, cs.pausedUntil);
+        }
+
+        if (!any_running) {
+            if (!any_pending && orphans.empty())
+                break; // all work drained; later events are moot
+            if (wake == inf) {
+                // Work remains but no core can ever run it again.
+                result.completed = false;
+                break;
+            }
+            now = wake;
+            apply_events(now);
+            if (++guard > guard_limit)
+                panic("runChipSim: event-count guard tripped");
+            continue;
+        }
+
+        const double rate =
+            mem_active ? mem_bytes_per_sec / mem_active : 0;
+
+        double dt = wake == inf ? inf : wake - now;
+        for (const CoreState &cs : state) {
+            if (!running(cs))
+                continue;
+            const double compute_dt = cs.computeLeft * cs.slowdown;
+            double task_dt = 0;
+            if (cs.bytesLeft > 0 && cs.computeLeft > 0)
+                task_dt = std::min(compute_dt, cs.bytesLeft / rate);
+            else if (cs.bytesLeft > 0)
+                task_dt = cs.bytesLeft / rate;
+            else
+                task_dt = compute_dt;
+            dt = std::min(dt, task_dt);
+        }
+        simAssert(dt >= 0 && dt < inf,
+                  "chip sim event time must be finite");
+        dt = std::max(dt, 1e-15); // numerical floor
+
+        const double t0 = now; // running() must see the old time
+        now += dt;
+        for (std::size_t c = 0; c < cores; ++c) {
+            CoreState &cs = state[c];
+            if (!cs.active || !cs.alive || t0 < cs.pausedUntil)
+                continue;
+            if (cs.computeLeft > 0)
+                cs.computeLeft =
+                    std::max(0.0, cs.computeLeft - dt / cs.slowdown);
+            if (cs.bytesLeft > 0) {
+                const double moved = std::min(cs.bytesLeft, rate * dt);
+                cs.bytesLeft -= moved;
+                bytes_moved += moved;
+            }
+            if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
+                ++cs.next;
+                load_next(c, now);
+            }
+        }
+        apply_events(now);
+        if (++guard > guard_limit)
+            panic("runChipSim: event-count guard tripped");
+    }
+
     result.makespan = now;
     result.coreFinish.reserve(cores);
     for (const CoreState &cs : state)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "resilience/fault_schedule.hh"
 
 namespace ascend {
 namespace soc {
@@ -38,6 +39,13 @@ struct ChipSimResult
     double makespan = 0;
     std::vector<double> coreFinish; ///< per-core completion time
     double avgMemUtilization = 0;   ///< shared-capacity usage over time
+
+    /// @{ Degraded-mode accounting (zero on the fault-free path).
+    unsigned coreFailures = 0;      ///< transient + permanent strikes
+    unsigned reDispatchedTasks = 0; ///< tasks moved off dead cores
+    /** False when every core died with work still queued. */
+    bool completed = true;
+    /// @}
 };
 
 /**
@@ -49,6 +57,22 @@ struct ChipSimResult
  */
 ChipSimResult runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
                          double mem_bytes_per_sec);
+
+/**
+ * Degraded-mode variant: same fluid model plus a per-core fault plan.
+ *  - Stragglers execute compute slower by their plan factor (memory
+ *    draining still shares the fluid capacity fairly).
+ *  - A transient failure pauses the core for the event's repair
+ *    window and restarts its in-flight task from scratch.
+ *  - A permanent failure kills the core; its in-flight task and its
+ *    remaining queue are re-dispatched to surviving cores in
+ *    deterministic order (lowest-index idle core first).
+ * An empty plan delegates to the fault-free overload and reproduces
+ * its result bit-for-bit.
+ */
+ChipSimResult runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
+                         double mem_bytes_per_sec,
+                         const resilience::ChipFaultPlan &plan);
 
 } // namespace soc
 } // namespace ascend

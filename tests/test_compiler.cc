@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "compiler/layer_compiler.hh"
 #include "model/network.hh"
@@ -162,14 +163,19 @@ TEST(Compile, BackwardOverridesShrinkExtTraffic)
     EXPECT_LT(with.bus(Bus::ExtA), without.bus(Bus::ExtA));
 }
 
-TEST(CompileDeath, PipelineDepthZeroRejected)
+TEST(Compile, PipelineDepthZeroRejected)
 {
     compiler::CompileOptions options;
     options.pipelineDepth = 0;
-    EXPECT_DEATH(LayerCompiler(arch::makeCoreConfig(
-                                   arch::CoreVersion::Max),
-                               options),
-                 "pipeline depth");
+    try {
+        LayerCompiler lc(arch::makeCoreConfig(arch::CoreVersion::Max),
+                         options);
+        FAIL() << "pipeline depth 0 must be rejected";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ConfigValidation);
+        EXPECT_NE(std::string(e.what()).find("pipeline depth"),
+                  std::string::npos);
+    }
 }
 
 /**

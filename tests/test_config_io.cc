@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/config_io.hh"
+#include "common/error.hh"
 
 namespace ascend {
 namespace arch {
@@ -54,30 +55,63 @@ TEST(ConfigIo, CommentsAndBlankLinesIgnored)
     EXPECT_EQ(parsed.l1Bytes, 2 * kMiB);
 }
 
-TEST(ConfigIoDeath, UnknownKeyIsFatal)
+// Helper: run @p fn, expect an ascend::Error with @p code whose
+// message contains @p needle.
+template <typename Fn>
+static void
+expectError(Fn &&fn, ErrorCode code, const std::string &needle)
 {
-    EXPECT_EXIT(configFromString("no_such_knob = 1\n"),
-                testing::ExitedWithCode(1), "unknown key");
+    try {
+        fn();
+        FAIL() << "expected ascend::Error [" << toString(code) << "]";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), code) << e.what();
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << e.what();
+    }
 }
 
-TEST(ConfigIoDeath, MalformedLineIsFatal)
+TEST(ConfigIoErrors, UnknownKeyThrows)
 {
-    EXPECT_EXIT(configFromString("just words\n"),
-                testing::ExitedWithCode(1), "expected 'key = value'");
+    expectError([] { configFromString("no_such_knob = 1\n"); },
+                ErrorCode::ConfigParse, "unknown key");
 }
 
-TEST(ConfigIoDeath, BadValueIsFatal)
+TEST(ConfigIoErrors, MalformedLineThrows)
 {
-    EXPECT_EXIT(configFromString("l1_bytes = lots\n"),
-                testing::ExitedWithCode(1), "bad integer");
-    EXPECT_EXIT(configFromString("supports_int8 = maybe\n"),
-                testing::ExitedWithCode(1), "bad bool");
+    expectError([] { configFromString("just words\n"); },
+                ErrorCode::ConfigParse, "expected 'key = value'");
 }
 
-TEST(ConfigIoDeath, ParsedConfigIsValidated)
+TEST(ConfigIoErrors, BadValueThrows)
+{
+    expectError([] { configFromString("l1_bytes = lots\n"); },
+                ErrorCode::ConfigParse, "bad integer");
+    expectError([] { configFromString("supports_int8 = maybe\n"); },
+                ErrorCode::ConfigParse, "bad bool");
+    expectError([] { configFromString("clock_ghz = nan\n"); },
+                ErrorCode::ConfigParse, "bad number");
+}
+
+TEST(ConfigIoErrors, ParsedConfigIsValidated)
 {
     // clock 0 parses but fails validate().
-    EXPECT_DEATH(configFromString("clock_ghz = 0\n"), "clock");
+    expectError([] { configFromString("clock_ghz = 0\n"); },
+                ErrorCode::ConfigValidation, "clock");
+}
+
+TEST(ConfigIoErrors, ParseFailureLeavesNoPartialState)
+{
+    // A throwing parse must not be observable through later parses:
+    // each call starts from its own copy of the base config.
+    try {
+        configFromString("vector_width_bytes = 9999\nbogus_key = 1\n");
+    } catch (const Error &) {
+    }
+    const CoreConfig clean = configFromString("");
+    EXPECT_EQ(clean.vectorWidthBytes,
+              arch::makeCoreConfig(arch::CoreVersion::Max)
+                  .vectorWidthBytes);
 }
 
 TEST(ConfigIo, EditedConfigDrivesTheSimulatorDifferently)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/core_config.hh"
+#include "common/error.hh"
 
 namespace ascend {
 namespace arch {
@@ -127,14 +128,28 @@ TEST(CoreConfig, PeakCubeThroughput)
                 1e9);
 }
 
-TEST(CoreConfigDeath, ValidateRejectsBadConfig)
+TEST(CoreConfig, ValidateRejectsBadConfig)
 {
     CoreConfig c = makeCoreConfig(CoreVersion::Max);
     c.clockGhz = 0;
-    EXPECT_DEATH(c.validate(), "clock");
+    EXPECT_THROW(c.validate(), Error);
+    try {
+        c.validate();
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ConfigValidation);
+        EXPECT_NE(std::string(e.what()).find("clock"),
+                  std::string::npos);
+    }
     c = makeCoreConfig(CoreVersion::Max);
     c.l0aBytes = 4; // cannot hold a double-buffered fractal
-    EXPECT_DEATH(c.validate(), "L0A");
+    try {
+        c.validate();
+        FAIL() << "tiny L0A must be rejected";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ConfigValidation);
+        EXPECT_NE(std::string(e.what()).find("L0A"),
+                  std::string::npos);
+    }
 }
 
 TEST(CoreConfig, Names)

@@ -15,7 +15,7 @@ namespace {
 
 TEST(Dram, ServiceTimeIsLatencyPlusTransfer)
 {
-    DramModel hbm(DramConfig{"hbm", 1e12, 100e-9});
+    DramModel hbm(DramConfig{"hbm", 1e12, 100e-9, {}});
     EXPECT_NEAR(hbm.serviceTime(0), 100e-9, 1e-12);
     EXPECT_NEAR(hbm.serviceTime(1000000), 100e-9 + 1e-6, 1e-12);
     EXPECT_NEAR(hbm.streamTime(2000000), 2e-6, 1e-12);
@@ -23,7 +23,7 @@ TEST(Dram, ServiceTimeIsLatencyPlusTransfer)
 
 TEST(Dram, AccountingAccumulates)
 {
-    DramModel d(DramConfig{"d", 1e9, 0});
+    DramModel d(DramConfig{"d", 1e9, 0, {}});
     d.recordAccess(500);
     d.recordAccess(500);
     EXPECT_EQ(d.totalBytes(), 1000u);

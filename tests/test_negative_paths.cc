@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Negative-path tests: the stack must reject malformed inputs with
+ * structured ascend::Error values (never silently mis-simulate, never
+ * abort the process for recoverable user error), and shared state
+ * like the SimCache must stay clean when a computation throws.
+ */
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/collective.hh"
+#include "common/error.hh"
+#include "compiler/autotiler.hh"
+#include "compiler/layer_compiler.hh"
+#include "model/zoo.hh"
+#include "runtime/sim_cache.hh"
+#include "runtime/sim_session.hh"
+
+using namespace ascend;
+using compiler::LayerCompiler;
+
+namespace {
+
+/** Expect fn() to throw Error with @p code, message containing @p hint. */
+template <typename Fn>
+void
+expectError(Fn &&fn, ErrorCode code, const std::string &hint)
+{
+    try {
+        fn();
+        FAIL() << "expected ascend::Error [" << toString(code) << "]";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), code) << e.what();
+        EXPECT_NE(std::string(e.what()).find(hint), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << hint << "'";
+    }
+}
+
+TEST(ErrorType, CarriesCodeAndMessage)
+{
+    const Error e(ErrorCode::InvalidLayer, "bad shape");
+    EXPECT_EQ(e.code(), ErrorCode::InvalidLayer);
+    EXPECT_EQ(e.context(), "bad shape");
+    EXPECT_NE(std::string(e.what()).find("invalid-layer"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad shape"),
+              std::string::npos);
+    EXPECT_STREQ(toString(ErrorCode::TileTooLarge), "tile-too-large");
+    EXPECT_STREQ(toString(ErrorCode::ParallelFailure),
+                 "parallel-failure");
+}
+
+TEST(NegativeLayers, MalformedShapesRejected)
+{
+    LayerCompiler lc(arch::makeCoreConfig(arch::CoreVersion::Max));
+
+    model::Layer conv = model::Layer::conv2d(
+        "c", 1, 3, 224, 224, 8, 3, 1, 1);
+    conv.inC = 0;
+    expectError([&] { lc.compile(conv); }, ErrorCode::InvalidLayer,
+                "input dims");
+
+    conv = model::Layer::conv2d("c", 1, 3, 224, 224, 8, 3, 1, 1);
+    conv.batch = 0;
+    expectError([&] { lc.compile(conv); }, ErrorCode::InvalidLayer,
+                "batch");
+
+    conv = model::Layer::conv2d("c", 1, 3, 224, 224, 8, 3, 1, 1);
+    conv.strideH = 0;
+    expectError([&] { lc.compile(conv); }, ErrorCode::InvalidLayer,
+                "strides");
+
+    // 7x7 kernel over a 4x4 unpadded input has no valid placement.
+    conv = model::Layer::conv2d("c", 1, 3, 4, 4, 8, 7, 1, 0);
+    expectError([&] { lc.compile(conv); }, ErrorCode::InvalidLayer,
+                "kernel larger");
+
+    model::Layer fc = model::Layer::linear("fc", 32, 1024, 1000);
+    fc.gemmK = 0;
+    expectError([&] { lc.compile(fc); }, ErrorCode::InvalidLayer,
+                "GEMM dims");
+
+    model::Layer ln = model::Layer::layerNorm("ln", 1 << 20, 768);
+    ln.rowLen = 0;
+    expectError([&] { lc.compile(ln); }, ErrorCode::InvalidLayer,
+                "row length");
+
+    // The well-formed versions still compile.
+    EXPECT_GT(lc.compile(model::Layer::conv2d("c", 1, 3, 224, 224, 8,
+                                              3, 1, 1)).size(), 0u);
+    EXPECT_GT(lc.compile(model::Layer::linear("fc", 32, 1024, 1000))
+                  .size(), 0u);
+}
+
+TEST(NegativeTiles, OversizeTileRejected)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    compiler::AutoTiler tiler(cfg);
+    const model::Layer fc = model::Layer::linear("fc", 512, 4096, 4096);
+
+    compiler::GemmTile huge;
+    huge.mt = 4096;
+    huge.kt = 4096;
+    huge.nt = 4096; // 32 MiB of A alone: no L0 holds that
+    expectError([&] { tiler.compileWithTile(fc, huge); },
+                ErrorCode::TileTooLarge, "overflows L0");
+
+    compiler::GemmTile zero;
+    zero.mt = 0;
+    expectError([&] { tiler.compileWithTile(fc, zero); },
+                ErrorCode::TileTooLarge, "positive");
+
+    // A legitimate searched tile still compiles and simulates.
+    const auto found = tiler.search(fc, 8);
+    EXPECT_GT(found.candidatesTried, 0u);
+    EXPECT_GT(tiler.compileWithTile(fc, found.best).size(), 0u);
+}
+
+TEST(NegativeCache, ThrowingComputationLeavesCacheClean)
+{
+    auto cache = std::make_shared<runtime::SimCache>();
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    runtime::SimSession session(cfg, {}, cache);
+
+    model::Layer bad = model::Layer::linear("bad", 32, 1024, 1000);
+    bad.gemmM = 0;
+    const auto before = cache->stats();
+    EXPECT_THROW(session.runLayer(bad), Error);
+    const auto after = cache->stats();
+    // The failed run counts its probe as a miss but must not insert
+    // a poisoned entry...
+    EXPECT_EQ(after.entries, before.entries);
+    // ...and must not break later lookups: the repaired layer runs,
+    // caches, and repeat runs hit.
+    const model::Layer good = model::Layer::linear("bad", 32, 1024,
+                                                   1000);
+    const core::SimResult first = session.runLayer(good);
+    const core::SimResult again = session.runLayer(good);
+    EXPECT_EQ(first.totalCycles, again.totalCycles);
+    EXPECT_GT(cache->stats().hits, after.hits);
+    // The malformed layer still throws (its failure was never cached
+    // as a result).
+    EXPECT_THROW(session.runLayer(bad), Error);
+}
+
+TEST(NegativeClusterConfig, ValidationRejectsDegenerateTopologies)
+{
+    cluster::ServerConfig server;
+    server.hccsBytesPerSec = 0;
+    expectError([&] { server.validate(); },
+                ErrorCode::ConfigValidation, "hccs");
+
+    server = cluster::ServerConfig{};
+    server.linkLatencySec = -1e-6;
+    expectError([&] { server.validate(); },
+                ErrorCode::ConfigValidation, "latency");
+
+    server = cluster::ServerConfig{};
+    server.chips = 0;
+    expectError([&] { server.validate(); },
+                ErrorCode::ConfigValidation, "chip");
+
+    server = cluster::ServerConfig{};
+    server.chipsPerGroup = 3; // does not divide 8
+    expectError([&] { server.validate(); },
+                ErrorCode::ConfigValidation, "divide");
+
+    cluster::ClusterConfig cl;
+    cl.netBytesPerSec = 0;
+    expectError([&] { cl.validate(); },
+                ErrorCode::ConfigValidation, "net");
+
+    cl = cluster::ClusterConfig{};
+    cl.servers = 0;
+    expectError([&] { cl.validate(); },
+                ErrorCode::ConfigValidation, "server");
+
+    EXPECT_NO_THROW(cluster::ClusterConfig{}.validate());
+}
+
+TEST(NegativeClusterConfig, ParserRejectsMalformedText)
+{
+    expectError([] { cluster::clusterConfigFromString("servers"); },
+                ErrorCode::ConfigParse, "key = value");
+    expectError(
+        [] { cluster::clusterConfigFromString("bogus = 1\n"); },
+        ErrorCode::ConfigParse, "unknown key");
+    expectError(
+        [] { cluster::clusterConfigFromString("servers = many\n"); },
+        ErrorCode::ConfigParse, "bad");
+    expectError(
+        [] { cluster::clusterConfigFromString("net_bytes_per_sec = nan\n"); },
+        ErrorCode::ConfigParse, "bad");
+    // Values that parse but violate validation surface as such.
+    expectError(
+        [] { cluster::clusterConfigFromString("servers = 0\n"); },
+        ErrorCode::ConfigValidation, "server");
+}
+
+TEST(NegativeClusterConfig, RoundTrips)
+{
+    cluster::ClusterConfig cl;
+    cl.servers = 12;
+    cl.server.chips = 4;
+    cl.server.chipsPerGroup = 2;
+    cl.netBytesPerSec = 25e9;
+    const std::string text = cluster::clusterConfigToString(cl);
+    const cluster::ClusterConfig back =
+        cluster::clusterConfigFromString(text);
+    EXPECT_EQ(back.servers, cl.servers);
+    EXPECT_EQ(back.server.chips, cl.server.chips);
+    EXPECT_EQ(back.server.chipsPerGroup, cl.server.chipsPerGroup);
+    EXPECT_EQ(back.netBytesPerSec, cl.netBytesPerSec);
+    EXPECT_EQ(back.server.hccsBytesPerSec, cl.server.hccsBytesPerSec);
+}
+
+TEST(NegativeCoreConfig, ZeroClockRejectedOnLoad)
+{
+    arch::CoreConfig cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    cfg.clockGhz = 0;
+    expectError([&] { cfg.validate(); }, ErrorCode::ConfigValidation,
+                "clock");
+}
+
+} // namespace

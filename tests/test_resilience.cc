@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Tests of the fault-injection and resilience layer: schedule
+ * determinism, the zero-fault bit-for-bit contract of every
+ * fault-aware path (collectives, chip sim, DRAM ECC, SimSession),
+ * recovery-policy arithmetic, and degraded-mode behavior.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/fault_collective.hh"
+#include "memory/dram.hh"
+#include "model/zoo.hh"
+#include "resilience/fault_schedule.hh"
+#include "resilience/policy.hh"
+#include "runtime/sim_session.hh"
+#include "soc/chip_sim.hh"
+
+using namespace ascend;
+using resilience::ChipFaultPlan;
+using resilience::CheckpointPolicy;
+using resilience::DegradedMode;
+using resilience::FaultEvent;
+using resilience::FaultKind;
+using resilience::FaultSchedule;
+using resilience::FaultSpec;
+using resilience::RetryPolicy;
+
+namespace {
+
+FaultSpec
+linkFaultSpec(double down_rate, double degrade_rate = 0)
+{
+    FaultSpec spec;
+    spec.seed = 42;
+    spec.horizonSec = 10.0;
+    spec.links = 8;
+    spec.linkDownPerSec = down_rate;
+    spec.linkDegradePerSec = degrade_rate;
+    return spec;
+}
+
+TEST(FaultSchedule, SameSeedSameSchedule)
+{
+    FaultSpec spec;
+    spec.seed = 7;
+    spec.cores = 16;
+    spec.links = 4;
+    spec.coreTransientPerSec = 3.0;
+    spec.corePermanentPerSec = 0.5;
+    spec.linkDownPerSec = 2.0;
+    spec.stragglerFraction = 0.25;
+
+    const FaultSchedule a = FaultSchedule::generate(spec);
+    const FaultSchedule b = FaultSchedule::generate(spec);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+        EXPECT_EQ(a.events()[i].timeSec, b.events()[i].timeSec);
+        EXPECT_EQ(a.events()[i].durationSec, b.events()[i].durationSec);
+        EXPECT_EQ(a.events()[i].severity, b.events()[i].severity);
+    }
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultSchedule, DifferentSeedsDiffer)
+{
+    FaultSpec spec;
+    spec.cores = 8;
+    spec.coreTransientPerSec = 5.0;
+    spec.seed = 1;
+    const FaultSchedule a = FaultSchedule::generate(spec);
+    spec.seed = 2;
+    const FaultSchedule b = FaultSchedule::generate(spec);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    bool any_differs = a.events().size() != b.events().size();
+    for (std::size_t i = 0;
+         !any_differs && i < a.events().size(); ++i)
+        any_differs = a.events()[i].timeSec != b.events()[i].timeSec;
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultSchedule, ZeroRatesYieldEmptySchedule)
+{
+    FaultSpec spec;
+    spec.cores = 32;
+    spec.links = 32;
+    EXPECT_TRUE(spec.empty());
+    const FaultSchedule s = FaultSchedule::generate(spec);
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(ChipFaultPlan::fromSchedule(s, 32).empty());
+}
+
+TEST(FaultSchedule, EventsSortedAndWithinHorizon)
+{
+    FaultSpec spec;
+    spec.cores = 8;
+    spec.links = 8;
+    spec.horizonSec = 2.0;
+    spec.coreTransientPerSec = 4.0;
+    spec.linkDownPerSec = 3.0;
+    spec.linkDegradePerSec = 2.0;
+    const FaultSchedule s = FaultSchedule::generate(spec);
+    ASSERT_FALSE(s.empty());
+    for (std::size_t i = 0; i < s.events().size(); ++i) {
+        EXPECT_GE(s.events()[i].timeSec, 0.0);
+        EXPECT_LT(s.events()[i].timeSec, spec.horizonSec);
+        if (i) {
+            EXPECT_LE(s.events()[i - 1].timeSec, s.events()[i].timeSec);
+        }
+    }
+    // Per-target filters partition the schedule.
+    std::size_t filtered = 0;
+    for (unsigned c = 0; c < spec.cores; ++c)
+        filtered += s.coreEvents(c).size();
+    for (unsigned l = 0; l < spec.links; ++l)
+        filtered += s.linkEvents(l).size();
+    EXPECT_EQ(filtered, s.events().size());
+}
+
+TEST(FaultSchedule, StragglerFractionBounds)
+{
+    FaultSpec spec;
+    spec.cores = 64;
+    spec.stragglerFraction = 1.0; // every core is slow
+    spec.stragglerSlowdown = 2.0;
+    const FaultSchedule s = FaultSchedule::generate(spec);
+    for (unsigned c = 0; c < spec.cores; ++c)
+        EXPECT_EQ(s.stragglerFactor(c), 2.0);
+    spec.stragglerFraction = 0.0;
+    const FaultSchedule none = FaultSchedule::generate(spec);
+    for (unsigned c = 0; c < spec.cores; ++c)
+        EXPECT_EQ(none.stragglerFactor(c), 1.0);
+}
+
+TEST(Policy, BackoffGrowsAndSaturates)
+{
+    RetryPolicy p;
+    p.backoffBaseSec = 1e-4;
+    p.backoffMultiplier = 2.0;
+    p.backoffCapSec = 5e-4;
+    EXPECT_DOUBLE_EQ(resilience::retryDelaySeconds(p, 0), 1e-4);
+    EXPECT_DOUBLE_EQ(resilience::retryDelaySeconds(p, 1), 2e-4);
+    EXPECT_DOUBLE_EQ(resilience::retryDelaySeconds(p, 2), 4e-4);
+    EXPECT_DOUBLE_EQ(resilience::retryDelaySeconds(p, 3), 5e-4); // cap
+    EXPECT_DOUBLE_EQ(resilience::retryDelaySeconds(p, 30), 5e-4);
+}
+
+TEST(Policy, CheckpointRestartExactWithoutFaults)
+{
+    CheckpointPolicy off;
+    // The no-fault, no-checkpoint case must be *exactly* the work
+    // time, not work + 0.0-shaped noise.
+    EXPECT_EQ(resilience::timeWithCheckpointRestart(123.456, 0.0, off),
+              123.456);
+
+    CheckpointPolicy on;
+    on.enabled = true;
+    on.intervalSec = 10;
+    on.saveSec = 1;
+    // Checkpoint overhead alone: one saveSec per interval of work.
+    EXPECT_DOUBLE_EQ(
+        resilience::timeWithCheckpointRestart(100.0, 0.0, on), 110.0);
+    // Faults make it strictly worse; checkpoints bound the rework.
+    const double faulty_on =
+        resilience::timeWithCheckpointRestart(100.0, 0.01, on);
+    const double faulty_off =
+        resilience::timeWithCheckpointRestart(100.0, 0.01, off);
+    EXPECT_GT(faulty_on, 110.0);
+    EXPECT_GT(faulty_off, 100.0);
+    EXPECT_LT(faulty_on, faulty_off); // checkpointing pays off here
+}
+
+TEST(FaultCollective, EmptyScheduleBitwiseEqualsFaultFree)
+{
+    const FaultSchedule none;
+    const RetryPolicy retry;
+    const Bytes bytes = 64 * kMiB;
+    for (auto algo : {cluster::CollectiveAlgo::Ring,
+                      cluster::CollectiveAlgo::HalvingDoubling,
+                      cluster::CollectiveAlgo::Tree}) {
+        for (unsigned n : {2u, 7u, 16u, 256u}) {
+            const double expect = cluster::allreduceAlgoSeconds(
+                algo, bytes, n, 12.5e9, 5e-6);
+            const cluster::FaultyCollectiveResult r =
+                cluster::allreduceWithFaults(
+                    algo, bytes, n, 12.5e9, 5e-6, none, retry,
+                    DegradedMode::ContinueDegraded);
+            EXPECT_EQ(r.seconds, expect); // bit-for-bit
+            EXPECT_EQ(r.penaltySeconds, 0.0);
+            EXPECT_EQ(r.retries, 0u);
+            EXPECT_TRUE(r.completed);
+        }
+    }
+}
+
+TEST(FaultCollective, EmptyScheduleHierarchicalBitwise)
+{
+    const FaultSchedule none;
+    const RetryPolicy retry;
+    cluster::ClusterConfig cl;
+    cl.servers = 16;
+    const Bytes bytes = 97 * kMiB + 3; // odd size on purpose
+    const double expect = cluster::hierarchicalAllreduceSeconds(cl, bytes);
+    const cluster::FaultyCollectiveResult r =
+        cluster::hierarchicalAllreduceWithFaults(
+            cl, bytes, none, retry, DegradedMode::ContinueDegraded);
+    EXPECT_EQ(r.seconds, expect);
+    EXPECT_EQ(r.penaltySeconds, 0.0);
+}
+
+TEST(FaultCollective, EmptyScheduleStepSecondsBitwise)
+{
+    const FaultSchedule none;
+    const RetryPolicy retry;
+    cluster::ClusterConfig cl;
+    cl.servers = 64;
+    cluster::TrainingJob job;
+    job.stepSecondsPerChip = 0.05;
+    job.gradientBytes = 50 * kMiB;
+    job.samplesPerChipStep = 32;
+    for (unsigned chips : {1u, 4u, 8u, 64u, 512u}) {
+        const double expect = cluster::stepSeconds(job, cl, chips);
+        const cluster::FaultyCollectiveResult r =
+            cluster::stepSecondsWithFaults(
+                job, cl, chips, none, retry,
+                DegradedMode::ContinueDegraded);
+        EXPECT_EQ(r.seconds, expect) << chips << " chips";
+        EXPECT_EQ(cluster::throughputSamplesPerSecWithFaults(
+                      job, cl, chips, none, retry,
+                      DegradedMode::ContinueDegraded),
+                  cluster::throughputSamplesPerSec(job, cl, chips))
+            << chips << " chips";
+    }
+}
+
+TEST(FaultCollective, LinkOutagesCostTimeAndRetries)
+{
+    const RetryPolicy retry;
+    const FaultSchedule faults =
+        FaultSchedule::generate(linkFaultSpec(20.0));
+    ASSERT_FALSE(faults.empty());
+    const Bytes bytes = 256 * kMiB;
+    const double clean = cluster::allreduceAlgoSeconds(
+        cluster::CollectiveAlgo::Ring, bytes, 8, 12.5e9, 5e-6);
+    const cluster::FaultyCollectiveResult r =
+        cluster::allreduceWithFaults(
+            cluster::CollectiveAlgo::Ring, bytes, 8, 12.5e9, 5e-6,
+            faults, retry, DegradedMode::ContinueDegraded);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.retries, 0u);
+    EXPECT_GT(r.seconds, clean);
+    EXPECT_DOUBLE_EQ(r.seconds, clean + r.penaltySeconds);
+}
+
+TEST(FaultCollective, FailStopReportsTimeToFailure)
+{
+    // Permanent-ish outage: long windows, no retries allowed.
+    FaultSpec spec = linkFaultSpec(5.0);
+    spec.linkOutageSec = 100.0; // outlives every retry budget
+    const FaultSchedule faults = FaultSchedule::generate(spec);
+    RetryPolicy retry;
+    retry.maxRetries = 2;
+
+    const cluster::FaultyCollectiveResult stopped =
+        cluster::allreduceWithFaults(
+            cluster::CollectiveAlgo::Ring, 256 * kMiB, 8, 12.5e9, 5e-6,
+            faults, retry, DegradedMode::FailStop);
+    EXPECT_FALSE(stopped.completed);
+    EXPECT_GT(stopped.downSteps, 0u);
+
+    const cluster::FaultyCollectiveResult degraded =
+        cluster::allreduceWithFaults(
+            cluster::CollectiveAlgo::Ring, 256 * kMiB, 8, 12.5e9, 5e-6,
+            faults, retry, DegradedMode::ContinueDegraded);
+    EXPECT_TRUE(degraded.completed);
+    EXPECT_GT(degraded.degradedSteps, 0u);
+    // Completing through degradation costs more wall time than the
+    // truncated fail-stop run observed.
+    EXPECT_GT(degraded.seconds, stopped.seconds);
+}
+
+TEST(FaultCollective, TrainingRunAccumulates)
+{
+    cluster::ClusterConfig cl;
+    cl.servers = 4;
+    cluster::TrainingJob job;
+    job.stepSecondsPerChip = 0.01;
+    job.gradientBytes = 10 * kMiB;
+    job.samplesPerChipStep = 16;
+    const RetryPolicy retry;
+    const CheckpointPolicy checkpoint;
+    const FaultSchedule none;
+
+    const cluster::TrainingRunResult clean =
+        cluster::trainingRunWithFaults(job, cl, 32, 10, none, retry,
+                                       DegradedMode::ContinueDegraded,
+                                       checkpoint);
+    EXPECT_TRUE(clean.completed);
+    EXPECT_EQ(clean.stepsDone, 10u);
+    // Bitwise: the zero-fault run is the same left-to-right sum a
+    // fault-free stepper would accumulate.
+    double expect = 0;
+    for (unsigned s = 0; s < 10; ++s)
+        expect += cluster::stepSeconds(job, cl, 32);
+    EXPECT_EQ(clean.seconds, expect);
+
+    // Outages long enough (20 ms) to overlap a ~100 ms training run.
+    FaultSpec fspec = linkFaultSpec(10.0);
+    fspec.linkOutageSec = 0.02;
+    const FaultSchedule faults = FaultSchedule::generate(fspec);
+    const cluster::TrainingRunResult faulty =
+        cluster::trainingRunWithFaults(job, cl, 32, 10, faults, retry,
+                                       DegradedMode::ContinueDegraded,
+                                       checkpoint);
+    EXPECT_TRUE(faulty.completed);
+    EXPECT_GT(faulty.seconds, clean.seconds);
+}
+
+std::vector<std::vector<soc::CoreTask>>
+sampleChipWork(unsigned cores)
+{
+    std::vector<std::vector<soc::CoreTask>> per_core(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        for (unsigned t = 0; t < 4; ++t)
+            per_core[c].push_back(
+                soc::CoreTask{1e-3 * (1 + (c + t) % 3),
+                              Bytes((c + 2 * t + 1)) * kMiB});
+    return per_core;
+}
+
+TEST(ChipSimFaults, EmptyPlanBitwiseEqualsFaultFree)
+{
+    const auto work = sampleChipWork(8);
+    const double bw = 100e9;
+    const soc::ChipSimResult base = soc::runChipSim(work, bw);
+    const soc::ChipSimResult same =
+        soc::runChipSim(work, bw, ChipFaultPlan{});
+    EXPECT_EQ(same.makespan, base.makespan);
+    EXPECT_EQ(same.avgMemUtilization, base.avgMemUtilization);
+    ASSERT_EQ(same.coreFinish.size(), base.coreFinish.size());
+    for (std::size_t c = 0; c < base.coreFinish.size(); ++c)
+        EXPECT_EQ(same.coreFinish[c], base.coreFinish[c]);
+    EXPECT_EQ(same.coreFailures, 0u);
+    EXPECT_EQ(same.reDispatchedTasks, 0u);
+    EXPECT_TRUE(same.completed);
+}
+
+TEST(ChipSimFaults, StragglerStretchesMakespan)
+{
+    const auto work = sampleChipWork(8);
+    const double bw = 1e12; // compute-bound so slowdown must show
+    const soc::ChipSimResult base = soc::runChipSim(work, bw);
+    ChipFaultPlan plan;
+    plan.stragglerFactor.assign(8, 1.0);
+    plan.stragglerFactor[3] = 2.0;
+    plan.coreEvents.resize(8);
+    const soc::ChipSimResult slow = soc::runChipSim(work, bw, plan);
+    EXPECT_GT(slow.makespan, base.makespan);
+    EXPECT_GT(slow.coreFinish[3], base.coreFinish[3]);
+    EXPECT_TRUE(slow.completed);
+}
+
+TEST(ChipSimFaults, PermanentFailureReDispatches)
+{
+    const auto work = sampleChipWork(4);
+    const double bw = 100e9;
+    const soc::ChipSimResult base = soc::runChipSim(work, bw);
+
+    ChipFaultPlan plan;
+    plan.stragglerFactor.assign(4, 1.0);
+    plan.coreEvents.resize(4);
+    // Kill core 0 immediately: all four of its tasks must move.
+    plan.coreEvents[0].push_back(
+        FaultEvent{FaultKind::CorePermanent, 0.0, 0, 0.0, 1.0});
+    const soc::ChipSimResult r = soc::runChipSim(work, bw, plan);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.coreFailures, 1u);
+    EXPECT_EQ(r.reDispatchedTasks, 4u);
+    EXPECT_GT(r.makespan, base.makespan);
+
+    // Mid-run kill: fewer tasks orphaned, still completes.
+    plan.coreEvents[0][0].timeSec = base.makespan / 4;
+    const soc::ChipSimResult mid = soc::runChipSim(work, bw, plan);
+    EXPECT_TRUE(mid.completed);
+    EXPECT_EQ(mid.coreFailures, 1u);
+    EXPECT_GT(mid.reDispatchedTasks, 0u);
+    EXPECT_LE(mid.reDispatchedTasks, 4u);
+}
+
+TEST(ChipSimFaults, TransientFailureRestartsTask)
+{
+    const auto work = sampleChipWork(4);
+    const double bw = 100e9;
+    const soc::ChipSimResult base = soc::runChipSim(work, bw);
+
+    ChipFaultPlan plan;
+    plan.stragglerFactor.assign(4, 1.0);
+    plan.coreEvents.resize(4);
+    plan.coreEvents[1].push_back(FaultEvent{
+        FaultKind::CoreTransient, base.makespan / 3, 1, 5e-4, 1.0});
+    const soc::ChipSimResult r = soc::runChipSim(work, bw, plan);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.coreFailures, 1u);
+    EXPECT_EQ(r.reDispatchedTasks, 0u);
+    EXPECT_GE(r.makespan, base.makespan);
+    EXPECT_GT(r.coreFinish[1], base.coreFinish[1]);
+}
+
+TEST(ChipSimFaults, AllCoresDeadReportsIncomplete)
+{
+    const auto work = sampleChipWork(2);
+    ChipFaultPlan plan;
+    plan.stragglerFactor.assign(2, 1.0);
+    plan.coreEvents.resize(2);
+    for (unsigned c = 0; c < 2; ++c)
+        plan.coreEvents[c].push_back(
+            FaultEvent{FaultKind::CorePermanent, 1e-6, c, 0.0, 1.0});
+    const soc::ChipSimResult r = soc::runChipSim(work, 100e9, plan);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.coreFailures, 2u);
+}
+
+TEST(DramEcc, ZeroRateBitwiseEqualsBase)
+{
+    memory::DramModel plain(memory::hbm2Ascend910());
+    memory::DramConfig cfg = memory::hbm2Ascend910();
+    EXPECT_EQ(cfg.ecc.correctablePerGiB, 0.0);
+    memory::DramModel ecc(cfg);
+    for (Bytes b : {Bytes(1), Bytes(4096), 3 * kMiB, 2 * kGiB})
+        EXPECT_EQ(ecc.serviceTimeWithEcc(b), plain.serviceTime(b));
+    EXPECT_EQ(ecc.eccStallTime(kGiB), 0.0);
+    EXPECT_EQ(ecc.uncorrectablePerSecAtFullBandwidth(), 0.0);
+}
+
+TEST(DramEcc, CorrectableErrorsStall)
+{
+    memory::DramConfig cfg = memory::hbm2Ascend910();
+    cfg.ecc.correctablePerGiB = 2.0;
+    cfg.ecc.correctableStallSec = 1e-6;
+    cfg.ecc.uncorrectablePerGiB = 1e-3;
+    memory::DramModel m(cfg);
+    EXPECT_DOUBLE_EQ(m.expectedCorrectable(kGiB), 2.0);
+    EXPECT_DOUBLE_EQ(m.eccStallTime(kGiB), 2e-6);
+    EXPECT_GT(m.serviceTimeWithEcc(kGiB), m.serviceTime(kGiB));
+    EXPECT_DOUBLE_EQ(m.serviceTimeWithEcc(kGiB),
+                     m.serviceTime(kGiB) + 2e-6);
+    EXPECT_GT(m.uncorrectablePerSecAtFullBandwidth(), 0.0);
+}
+
+TEST(SessionResilience, DefaultOptionsBitwiseEqualBaseline)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    const auto net = model::zoo::gestureNet(1);
+    // Private caches so the two sessions cannot share entries.
+    runtime::SimSession plain(
+        cfg, {}, std::make_shared<runtime::SimCache>());
+    runtime::SimSession res(cfg, {},
+                            std::make_shared<runtime::SimCache>(),
+                            resilience::ResilienceOptions{});
+    for (const auto &layer : net.layers) {
+        const core::SimResult a = plain.runLayer(layer);
+        const core::SimResult b = res.runLayer(layer);
+        EXPECT_EQ(a.totalCycles, b.totalCycles);
+        EXPECT_EQ(a.totalFlops, b.totalFlops);
+        EXPECT_EQ(a.instrsExecuted, b.instrsExecuted);
+    }
+}
+
+TEST(SessionResilience, StragglerSlowdownScalesCycles)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    const auto net = model::zoo::gestureNet(1);
+    resilience::ResilienceOptions res;
+    res.enabled = true;
+    res.stragglerSlowdown = 1.5;
+    runtime::SimSession plain(
+        cfg, {}, std::make_shared<runtime::SimCache>());
+    runtime::SimSession slow(
+        cfg, {}, std::make_shared<runtime::SimCache>(), res);
+    for (const auto &layer : net.layers) {
+        const core::SimResult a = plain.runLayer(layer);
+        const core::SimResult b = slow.runLayer(layer);
+        EXPECT_EQ(b.totalCycles,
+                  Cycles(std::ceil(double(a.totalCycles) * 1.5)));
+        EXPECT_EQ(a.totalFlops, b.totalFlops); // work is unchanged
+    }
+}
+
+TEST(SessionResilience, OptionsSeparateCacheKeys)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Max);
+    const auto layer = model::zoo::gestureNet(1).layers.front();
+    auto cache = std::make_shared<runtime::SimCache>();
+    resilience::ResilienceOptions res;
+    res.enabled = true;
+    res.stragglerSlowdown = 2.0;
+    runtime::SimSession plain(cfg, {}, cache);
+    runtime::SimSession slow(cfg, {}, cache, res);
+    // Same shared cache: a fault-free entry must not satisfy the
+    // degraded session (and vice versa).
+    const core::SimResult a = plain.runLayer(layer);
+    const core::SimResult b = slow.runLayer(layer);
+    EXPECT_NE(a.totalCycles, b.totalCycles);
+    // Fingerprints of distinct options differ; identical ones match.
+    EXPECT_NE(runtime::fingerprint(res),
+              runtime::fingerprint(resilience::ResilienceOptions{}));
+    EXPECT_EQ(runtime::fingerprint(res), runtime::fingerprint(res));
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "compiler/profiler.hh"
 #include "model/zoo.hh"
 #include "runtime/sim_cache.hh"
@@ -207,6 +208,40 @@ TEST(ThreadPool, PropagatesFirstException)
                                   }),
                  std::runtime_error);
     // The pool survives a throwing job and runs the next one.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](std::size_t) { ran++; });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, AggregatesConcurrentExceptions)
+{
+    // Regression: exceptions after the first failing index used to be
+    // dropped. With many concurrently throwing tasks, every failure
+    // must be represented in one ParallelFailure error.
+    runtime::ThreadPool pool(4);
+    try {
+        pool.parallelFor(64, [](std::size_t i) {
+            if (i % 8 == 0) // 8 distinct failures
+                throw std::runtime_error("task-" + std::to_string(i) +
+                                         "-failed");
+        });
+        FAIL() << "expected an aggregated failure";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ParallelFailure);
+        const std::string what = e.what();
+        for (std::size_t i = 0; i < 64; i += 8)
+            EXPECT_NE(what.find("task-" + std::to_string(i) +
+                                "-failed"),
+                      std::string::npos)
+                << "missing failure of index " << i << " in: " << what;
+    } catch (const std::runtime_error &e) {
+        // A scheduling fluke where only one task ran before the rest
+        // were drained would rethrow the single original exception —
+        // but with 8 throwers across 64 indices on 4 threads at least
+        // two must execute. Treat this as the dropped-exception bug.
+        FAIL() << "exceptions were dropped; only saw: " << e.what();
+    }
+    // The pool survives and the next job is clean.
     std::atomic<int> ran{0};
     pool.parallelFor(8, [&](std::size_t) { ran++; });
     EXPECT_EQ(ran.load(), 8);
