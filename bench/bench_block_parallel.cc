@@ -23,33 +23,11 @@
 
 using namespace ascend;
 
-namespace {
-
-/** Per-core task list for one network at the given batch. */
-std::vector<soc::CoreTask>
-coreTasks(const runtime::SimSession &session, const model::Network &net,
-          double clock_ghz)
-{
-    std::vector<soc::CoreTask> tasks;
-    for (const auto &run : session.runInference(net)) {
-        soc::CoreTask t;
-        t.computeSeconds =
-            double(run.result.totalCycles) / (clock_ghz * 1e9);
-        t.memBytes = run.result.extBytes();
-        tasks.push_back(t);
-    }
-    return tasks;
-}
-
-} // anonymous namespace
-
 int
 main()
 {
     soc::TrainingSoc soc910;
     const auto &cfg = soc910.config();
-    const double clock = soc910.coreConfig().clockGhz;
-    runtime::SimSession session(soc910.coreConfig());
 
     bench::banner("Section 5.2: block-parallel ResNet50 on 32 cores");
 
@@ -57,18 +35,12 @@ main()
     const auto roofline = soc910.inferStep(model::zoo::resnet50(4));
 
     // 2. Fluid, even split: every core runs batch 4.
-    const auto even_tasks =
-        coreTasks(session, model::zoo::resnet50(4), clock);
-    std::vector<std::vector<soc::CoreTask>> even(cfg.aiCores,
-                                                 even_tasks);
     const auto fluid_even =
-        soc::runChipSim(even, cfg.llcBandwidth);
+        soc910.fluidInferStep(model::zoo::resnet50(4));
 
     // 3. Fluid, skewed split: half the cores get batch 6, half get 2.
-    const auto heavy = coreTasks(session, model::zoo::resnet50(6),
-                                 clock);
-    const auto light = coreTasks(session, model::zoo::resnet50(2),
-                                 clock);
+    const auto heavy = soc910.coreTasks(model::zoo::resnet50(6));
+    const auto light = soc910.coreTasks(model::zoo::resnet50(2));
     std::vector<std::vector<soc::CoreTask>> skewed;
     for (unsigned c = 0; c < cfg.aiCores; ++c)
         skewed.push_back(c % 2 ? heavy : light);

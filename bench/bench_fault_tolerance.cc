@@ -200,6 +200,90 @@ chipSweep(bool smoke)
 }
 
 void
+chipClusterSweep()
+{
+    bench::banner("Cluster training with simulated chip step time "
+                  "(fluid chip sim -> cluster run)");
+
+    // One chip's data-parallel step, as fluid task queues.
+    const unsigned cores = 32;
+    std::vector<std::vector<soc::CoreTask>> work(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        for (unsigned k = 0; k < 8; ++k)
+            work[c].push_back(
+                soc::CoreTask{1e-3 * (1 + (c + k) % 4),
+                              Bytes((c % 7) + 2 * k + 1) * kMiB});
+
+    cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 51 * kMiB;
+    job.samplesPerChipStep = 256;
+    const unsigned steps = 100;
+    const RetryPolicy retry;
+    const CheckpointPolicy checkpoint;
+
+    struct Scenario
+    {
+        const char *name;
+        FaultSpec spec;
+    };
+    std::vector<Scenario> scenarios;
+    {
+        FaultSpec s;
+        s.seed = 7;
+        s.cores = cores;
+        s.horizonSec = 1.0;
+        scenarios.push_back({"healthy chip", s});
+        Scenario straggler{"stragglers 25% @1.5x", s};
+        straggler.spec.stragglerFraction = 0.25;
+        straggler.spec.stragglerSlowdown = 1.5;
+        scenarios.push_back(straggler);
+        Scenario permanent{"permanent 15/core/s", s};
+        permanent.spec.corePermanentPerSec = 15.0;
+        scenarios.push_back(permanent);
+    }
+    const std::vector<unsigned> sizes = {64, 1024};
+
+    struct Point
+    {
+        std::size_t scenario;
+        unsigned chips;
+    };
+    std::vector<Point> grid;
+    for (std::size_t s = 0; s < scenarios.size(); ++s)
+        for (unsigned chips : sizes)
+            grid.push_back({s, chips});
+
+    std::vector<Row> rows(grid.size());
+    runtime::parallelFor(grid.size(), [&](std::size_t i) {
+        const Scenario &sc = scenarios[grid[i].scenario];
+        const ChipFaultPlan plan = ChipFaultPlan::fromSchedule(
+            FaultSchedule::generate(sc.spec), cores);
+        const cluster::ChipTrainingRunResult r =
+            cluster::trainingRunWithChipFaults(
+                job, cl, grid[i].chips, steps, work, 1.2e12, plan,
+                FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+                checkpoint);
+        rows[i] = {sc.name, TextTable::num(std::uint64_t(grid[i].chips)),
+                   TextTable::num(r.stepSecondsPerChip * 1e3, 3),
+                   TextTable::num(std::uint64_t(r.run.stepsDone)) + "/" +
+                       TextTable::num(std::uint64_t(steps)),
+                   TextTable::num(r.run.seconds, 3),
+                   r.run.completed ? "yes" : "no"};
+    });
+
+    TextTable t("chip-sim-driven training runs");
+    t.header({"chip state", "chips", "step/chip (ms)", "steps",
+              "seconds", "completed"});
+    for (const Row &row : rows)
+        t.row(row);
+    t.print(std::cout);
+    std::cout << "step/chip comes from the fluid chip simulator "
+                 "(stragglers and dead cores\nstretch it); the cluster "
+                 "run then pays communication on top.\n";
+}
+
+void
 eccCheckpointCurves(bool smoke)
 {
     bench::banner("ECC scrubbing and checkpoint/restart cost");
@@ -269,6 +353,10 @@ main(int argc, char **argv)
     }
     trainingSweep(smoke);
     chipSweep(smoke);
+    // The chip-sim-driven cluster sweep is not part of the golden
+    // smoke output (it exists since PR 3); full runs only.
+    if (!smoke)
+        chipClusterSweep();
     eccCheckpointCurves(smoke);
     return 0;
 }

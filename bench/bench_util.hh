@@ -9,8 +9,11 @@
  *
  * The benches drive simulation through runtime::SimSession (memoized
  * + thread-pooled); with ASCEND_SIM_STATS=1 every banner-using bench
- * prints a one-line summary of the process-wide simulation cache at
- * exit. Note the counters (not the simulation results) can vary with
+ * prints an aligned table of the process-wide cache counters (with
+ * hit rate and disk load/store counts) plus per-scope wall-clock
+ * timings at exit. The table goes to stderr so the golden-diffed
+ * stdout stays byte-identical across runs and thread counts. Note
+ * the counters (not the simulation results) can vary with
  * ASCEND_THREADS: concurrent misses on one key may both simulate.
  */
 
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "runtime/perf_stats.hh"
 #include "runtime/profile.hh"
 #include "runtime/sim_session.hh"
 #include "runtime/thread_pool.hh"
@@ -35,19 +39,18 @@ inline void
 banner(const std::string &what)
 {
     // First banner wires up the ASCEND_SIM_STATS=1 observability
-    // hook: one cache-counter line on exit, after all tables.
+    // hook: one aligned stats table on exit, after all tables.
     static const bool registered = [] {
         const char *env = std::getenv("ASCEND_SIM_STATS");
         if (env && std::string(env) == "1") {
             // Construct the process cache *before* registering the
             // handler: statics destruct in reverse order, so the
-            // summary then prints while the cache is still alive.
+            // report then prints while the cache is still alive.
             runtime::SimSession::processCache();
             std::atexit([] {
-                std::cout << "["
-                          << runtime::SimSession::processCache()
-                                 ->summary()
-                          << "]\n";
+                std::cerr << runtime::simStatsReport(
+                    runtime::SimSession::processCache()->stats(),
+                    runtime::ThreadPool::configuredThreads());
             });
         }
         return true;

@@ -266,5 +266,34 @@ trainingRunWithFaults(const TrainingJob &job, const ClusterConfig &cluster,
     return run;
 }
 
+ChipTrainingRunResult
+trainingRunWithChipFaults(
+    const TrainingJob &job, const ClusterConfig &cluster, unsigned chips,
+    unsigned num_steps,
+    const std::vector<std::vector<soc::CoreTask>> &per_core,
+    double mem_bytes_per_sec,
+    const resilience::ChipFaultPlan &chip_plan,
+    const FaultSchedule &faults, const RetryPolicy &retry,
+    DegradedMode mode, const resilience::CheckpointPolicy &checkpoint,
+    double ecc_uncorrectable_per_sec)
+{
+    ChipTrainingRunResult r;
+    r.chip = soc::runChipSim(per_core, mem_bytes_per_sec, chip_plan);
+    if (!r.chip.completed) {
+        // Every core died with work still queued: the chip never
+        // produces a gradient, so the job fail-stops immediately.
+        r.run.completed = false;
+        r.run.seconds = r.chip.makespan;
+        return r;
+    }
+    r.stepSecondsPerChip = r.chip.makespan;
+    TrainingJob chip_job = job;
+    chip_job.stepSecondsPerChip = r.chip.makespan;
+    r.run = trainingRunWithFaults(chip_job, cluster, chips, num_steps,
+                                  faults, retry, mode, checkpoint,
+                                  ecc_uncorrectable_per_sec);
+    return r;
+}
+
 } // namespace cluster
 } // namespace ascend

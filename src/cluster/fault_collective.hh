@@ -30,6 +30,7 @@
 #include "cluster/collective.hh"
 #include "resilience/fault_schedule.hh"
 #include "resilience/policy.hh"
+#include "soc/chip_sim.hh"
 
 namespace ascend {
 namespace cluster {
@@ -115,6 +116,38 @@ trainingRunWithFaults(const TrainingJob &job, const ClusterConfig &cluster,
                       resilience::DegradedMode mode,
                       const resilience::CheckpointPolicy &checkpoint,
                       double ecc_uncorrectable_per_sec = 0.0);
+
+/** Outcome of a training run whose step time came from the chip sim. */
+struct ChipTrainingRunResult
+{
+    TrainingRunResult run;   ///< the cluster-level outcome
+    soc::ChipSimResult chip; ///< the per-chip fluid simulation
+    /** The chip-sim makespan that replaced job.stepSecondsPerChip. */
+    double stepSecondsPerChip = 0;
+};
+
+/**
+ * Cluster training run whose per-chip step time is *simulated* rather
+ * than supplied: @p per_core is one chip's fluid task queues (every
+ * chip runs the same data-parallel program), @p mem_bytes_per_sec its
+ * shared-memory capacity, and @p chip_plan an intra-chip fault plan
+ * (stragglers, core failures). The resulting makespan replaces
+ * job.stepSecondsPerChip and the run then proceeds through
+ * trainingRunWithFaults under the cluster-level schedule. A chip plan
+ * that kills every core (chip.completed == false) fail-stops the run
+ * at step 0. With an empty chip plan and an empty cluster schedule
+ * the result equals the scalar path bit-for-bit.
+ */
+ChipTrainingRunResult trainingRunWithChipFaults(
+    const TrainingJob &job, const ClusterConfig &cluster, unsigned chips,
+    unsigned num_steps,
+    const std::vector<std::vector<soc::CoreTask>> &per_core,
+    double mem_bytes_per_sec,
+    const resilience::ChipFaultPlan &chip_plan,
+    const resilience::FaultSchedule &faults,
+    const resilience::RetryPolicy &retry, resilience::DegradedMode mode,
+    const resilience::CheckpointPolicy &checkpoint,
+    double ecc_uncorrectable_per_sec = 0.0);
 
 } // namespace cluster
 } // namespace ascend

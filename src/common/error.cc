@@ -21,6 +21,7 @@ toString(ErrorCode code)
       case ErrorCode::TileTooLarge:     return "tile-too-large";
       case ErrorCode::ParallelFailure:  return "parallel-failure";
       case ErrorCode::FaultInjected:    return "fault-injected";
+      case ErrorCode::GuardExceeded:    return "guard-exceeded";
     }
     return "unknown";
 }

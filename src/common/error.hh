@@ -33,6 +33,7 @@ enum class ErrorCode {
     TileTooLarge,     ///< requested tile exceeds the L0 buffers
     ParallelFailure,  ///< multiple tasks of one parallel loop threw
     FaultInjected,    ///< a simulated fault escalated to fail-stop
+    GuardExceeded,    ///< a simulation event-count guard tripped
 };
 
 /** Stable lower-case name of @p code (used in what() prefixes). */

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Perf-scope registry and ASCEND_SIM_STATS report formatting.
+ */
+
+#include "runtime/perf_stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace ascend {
+namespace runtime {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    // Ordered map: snapshots come out sorted by name for free, and
+    // unique_ptr keeps handed-out references stable across inserts.
+    std::map<std::string, std::unique_ptr<PerfScope>> scopes;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::string
+percent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+    return buf;
+}
+
+std::string
+secondsStr(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+    return buf;
+}
+
+} // anonymous namespace
+
+PerfScope &
+perfScope(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.scopes.find(name);
+    if (it == r.scopes.end())
+        it = r.scopes
+                 .emplace(name, std::make_unique<PerfScope>(name))
+                 .first;
+    return *it->second;
+}
+
+std::vector<PerfEntry>
+perfSnapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<PerfEntry> out;
+    out.reserve(r.scopes.size());
+    for (const auto &kv : r.scopes)
+        out.push_back(
+            {kv.first, kv.second->calls(), kv.second->seconds()});
+    return out;
+}
+
+std::string
+simStatsReport(const SimCache::Stats &stats, unsigned threads)
+{
+    struct Row
+    {
+        std::string label, a, b;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"threads", std::to_string(threads), ""});
+    rows.push_back({"cache hits", std::to_string(stats.hits), ""});
+    rows.push_back({"cache misses", std::to_string(stats.misses), ""});
+    rows.push_back({"cache hit rate", percent(stats.hitRate()), ""});
+    rows.push_back({"cache entries", std::to_string(stats.entries), ""});
+    rows.push_back(
+        {"cache evictions", std::to_string(stats.evictions), ""});
+    rows.push_back(
+        {"disk loads", std::to_string(stats.diskLoads), ""});
+    rows.push_back(
+        {"disk stores", std::to_string(stats.diskStores), ""});
+    for (const PerfEntry &e : perfSnapshot())
+        rows.push_back({"scope " + e.name,
+                        std::to_string(e.calls) + " calls",
+                        secondsStr(e.seconds)});
+
+    std::size_t w0 = 0, w1 = 0;
+    for (const Row &r : rows) {
+        w0 = std::max(w0, r.label.size());
+        w1 = std::max(w1, r.a.size());
+    }
+    std::ostringstream os;
+    os << "[sim stats]\n";
+    for (const Row &r : rows) {
+        os << "  " << r.label
+           << std::string(w0 - r.label.size(), ' ') << "  "
+           << std::string(w1 - r.a.size(), ' ') << r.a;
+        if (!r.b.empty())
+            os << "  " << r.b;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace runtime
+} // namespace ascend

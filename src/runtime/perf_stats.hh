@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight wall-clock instrumentation of simulation hot paths.
+ *
+ * The repo tracks a perf trajectory across PRs (BENCH_runtime.json),
+ * which needs per-stage timings that do not disturb the stage being
+ * timed. A PerfScope is a named pair of atomic counters (calls,
+ * nanoseconds); a PerfTimer is an RAII stopwatch charging one scope.
+ * Scopes live in a process-wide registry so the ASCEND_SIM_STATS=1
+ * report and the perf bench can enumerate whatever ran.
+ *
+ * Overhead: one steady_clock read on entry and one read plus two
+ * relaxed atomic adds on exit — noise next to a layer or chip
+ * simulation. Instrumentation must never change simulation output;
+ * scopes carry timing only.
+ */
+
+#ifndef ASCEND_RUNTIME_PERF_STATS_HH
+#define ASCEND_RUNTIME_PERF_STATS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_cache.hh"
+
+namespace ascend {
+namespace runtime {
+
+/** Named accumulator of time spent in one kind of work. */
+class PerfScope
+{
+  public:
+    explicit PerfScope(std::string name) : name_(std::move(name)) {}
+
+    PerfScope(const PerfScope &) = delete;
+    PerfScope &operator=(const PerfScope &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    std::uint64_t
+    calls() const
+    {
+        return calls_.load(std::memory_order_relaxed);
+    }
+
+    double
+    seconds() const
+    {
+        return double(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+    }
+
+    void
+    charge(std::uint64_t nanos)
+    {
+        calls_.fetch_add(1, std::memory_order_relaxed);
+        nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    }
+
+  private:
+    const std::string name_;
+    std::atomic<std::uint64_t> calls_{0};
+    std::atomic<std::uint64_t> nanos_{0};
+};
+
+/**
+ * The process-wide scope named @p name (created on first use; the
+ * returned reference stays valid for the process lifetime, so callers
+ * typically bind it to a function-local static).
+ */
+PerfScope &perfScope(const std::string &name);
+
+/** RAII stopwatch: charges its scope on destruction. */
+class PerfTimer
+{
+  public:
+    explicit PerfTimer(PerfScope &scope)
+        : scope_(scope), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    PerfTimer(const PerfTimer &) = delete;
+    PerfTimer &operator=(const PerfTimer &) = delete;
+
+    ~PerfTimer()
+    {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - start_;
+        scope_.charge(std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                elapsed)
+                .count()));
+    }
+
+  private:
+    PerfScope &scope_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Point-in-time copy of one scope's counters. */
+struct PerfEntry
+{
+    std::string name;
+    std::uint64_t calls = 0;
+    double seconds = 0;
+};
+
+/** Snapshot of every registered scope, sorted by name. */
+std::vector<PerfEntry> perfSnapshot();
+
+/**
+ * The ASCEND_SIM_STATS=1 report: cache counters (including hit rate
+ * and disk load/store counts), thread budget, and per-scope timings
+ * in one aligned table. Ends with a newline.
+ */
+std::string simStatsReport(const SimCache::Stats &stats,
+                           unsigned threads);
+
+} // namespace runtime
+} // namespace ascend
+
+#endif // ASCEND_RUNTIME_PERF_STATS_HH

@@ -5,7 +5,12 @@
 
 #include "runtime/sim_cache.hh"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace ascend {
@@ -33,6 +38,101 @@ putDouble(std::string &s, double v)
     std::memcpy(&bits, &v, sizeof(bits));
     put(s, bits);
 }
+
+/// @{ On-disk cache format primitives. Every scalar is a raw
+/// little-fixed-width u64 in host byte order (cache files are
+/// machine-local, not an interchange format).
+constexpr char kFileMagic[8] = {'A', 'S', 'C', 'S',
+                                'I', 'M', 'C', '\n'};
+constexpr std::uint64_t kFileFormatVersion = 1;
+
+void
+writeU64(std::string &buf, std::uint64_t v)
+{
+    char raw[sizeof(v)];
+    std::memcpy(raw, &v, sizeof(v));
+    buf.append(raw, sizeof(v));
+}
+
+void
+writeBytes(std::string &buf, const std::string &s)
+{
+    writeU64(buf, s.size());
+    buf.append(s);
+}
+
+void
+writeResult(std::string &buf, const core::SimResult &r)
+{
+    // Field-wise, never a struct memcpy: padding bytes would leak
+    // into the file and any layout change would silently corrupt.
+    writeU64(buf, r.totalCycles);
+    writeU64(buf, r.totalFlops);
+    writeU64(buf, r.instrsExecuted);
+    for (const core::PipeStats &p : r.pipes) {
+        writeU64(buf, p.busyCycles);
+        writeU64(buf, p.finishCycle);
+        writeU64(buf, p.instrs);
+    }
+    for (Bytes b : r.busBytes)
+        writeU64(buf, b);
+}
+
+/** Bounds-checked cursor over a loaded file image. */
+struct FileReader
+{
+    const std::string &data;
+    std::size_t pos = 0;
+
+    bool
+    readU64(std::uint64_t &v)
+    {
+        if (data.size() - pos < sizeof(v))
+            return false;
+        std::memcpy(&v, data.data() + pos, sizeof(v));
+        pos += sizeof(v);
+        return true;
+    }
+
+    bool
+    readBytes(std::string &s, std::size_t max_len)
+    {
+        std::uint64_t len = 0;
+        if (!readU64(len) || len > max_len ||
+            data.size() - pos < len)
+            return false;
+        s.assign(data.data() + pos, std::size_t(len));
+        pos += std::size_t(len);
+        return true;
+    }
+
+    bool
+    readResult(core::SimResult &r)
+    {
+        std::uint64_t v = 0;
+        if (!readU64(v))
+            return false;
+        r.totalCycles = v;
+        if (!readU64(v))
+            return false;
+        r.totalFlops = v;
+        if (!readU64(v))
+            return false;
+        r.instrsExecuted = v;
+        for (core::PipeStats &p : r.pipes) {
+            if (!readU64(p.busyCycles) ||
+                !readU64(p.finishCycle) || !readU64(p.instrs))
+                return false;
+        }
+        for (Bytes &b : r.busBytes)
+            if (!readU64(b))
+                return false;
+        return true;
+    }
+};
+
+/** Longest key the loader accepts (a corrupt length must not OOM). */
+constexpr std::size_t kMaxKeyLen = 1 << 20;
 
 } // anonymous namespace
 
@@ -174,6 +274,8 @@ SimCache::stats() const
     s.misses = misses_;
     s.evictions = evictions_;
     s.entries = map_.size();
+    s.diskLoads = diskLoads_;
+    s.diskStores = diskStores_;
     return s;
 }
 
@@ -194,7 +296,137 @@ SimCache::summary() const
        << " misses, " << s.entries << " entries, " << s.evictions
        << " evictions (" << int(100.0 * s.hitRate() + 0.5)
        << "% hit rate)";
+    if (s.diskLoads || s.diskStores)
+        os << " [disk: " << s.diskLoads << " loaded, "
+           << s.diskStores << " stored]";
     return os.str();
+}
+
+const char *
+SimCache::codeVersion()
+{
+    // Manually bumped when compilation or simulation semantics
+    // change (anything that can alter a SimResult for an unchanged
+    // fingerprint). The fingerprints themselves already separate
+    // config/option/layer changes; this guards the code.
+    return "ascend-sim-3";
+}
+
+std::string
+SimCache::filePath(const std::string &dir)
+{
+    // One fixed name; the version lives in the header (checked on
+    // load), not the name, so stale files are reclaimed by overwrite
+    // instead of accumulating.
+    return dir + "/sim_cache.bin";
+}
+
+std::size_t
+SimCache::loadFile(const std::string &path, const std::string &version)
+{
+    std::string data;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return 0;
+        std::ostringstream os;
+        os << in.rdbuf();
+        data = os.str();
+    }
+
+    FileReader r{data};
+    if (data.size() < sizeof(kFileMagic) ||
+        std::memcmp(data.data(), kFileMagic, sizeof(kFileMagic)) != 0)
+        return 0;
+    r.pos = sizeof(kFileMagic);
+
+    std::uint64_t format = 0, pipes = 0, buses = 0, count = 0;
+    std::string file_version;
+    if (!r.readU64(format) || format != kFileFormatVersion ||
+        !r.readU64(pipes) || pipes != isa::kNumPipes ||
+        !r.readU64(buses) || buses != isa::kNumBuses ||
+        !r.readBytes(file_version, kMaxKeyLen) ||
+        file_version != version || !r.readU64(count))
+        return 0;
+
+    std::size_t loaded = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string key;
+        core::SimResult value;
+        // A short or corrupt tail ends the load; entries already
+        // validated stay (each is self-contained and deterministic).
+        if (!r.readBytes(key, kMaxKeyLen) || !r.readResult(value))
+            break;
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second.value = value;
+            continue;
+        }
+        lru_.push_back(key); // file order is hot-first; append keeps it
+        map_.emplace(key, Entry{value, std::prev(lru_.end())});
+        ++loaded;
+        while (map_.size() > capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            ++evictions_;
+        }
+    }
+    diskLoads_ += loaded;
+    return loaded;
+}
+
+bool
+SimCache::saveFile(const std::string &path, const std::string &version)
+{
+    std::string buf;
+    std::uint64_t stored = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buf.reserve(64 + map_.size() * 256);
+        buf.append(kFileMagic, sizeof(kFileMagic));
+        writeU64(buf, kFileFormatVersion);
+        writeU64(buf, isa::kNumPipes);
+        writeU64(buf, isa::kNumBuses);
+        writeBytes(buf, version);
+        writeU64(buf, map_.size());
+        for (const std::string &key : lru_) { // MRU first
+            writeBytes(buf, key);
+            writeResult(buf, map_.at(key).value);
+        }
+        stored = map_.size();
+    }
+
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(), ec);
+
+    // Write-to-temp + rename: readers only ever see a complete file,
+    // and a concurrent writer loses the race wholesale instead of
+    // interleaving. The temp name is per-process to keep two writers
+    // off one temp file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(buf.data(), std::streamsize(buf.size()));
+        if (!out) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    diskStores_ += stored;
+    return true;
 }
 
 } // namespace runtime

@@ -20,6 +20,16 @@
  * probe, orders of magnitude cheaper than the simulation it saves)
  * and LRU-bounded. Hit/miss/eviction counters are exposed for
  * observability (ASCEND_SIM_STATS=1 prints them from the benches).
+ *
+ * Persistence: loadFile()/saveFile() round-trip the entries through a
+ * versioned binary file so a warm ASCEND_CACHE_DIR survives process
+ * exit. The header carries a magic, a format version, the pipe/bus
+ * array dimensions, and a simulator code-version string; any mismatch
+ * makes the loader ignore the file (a stale cache silently rebuilds,
+ * it never corrupts results). Writes go to a temp file renamed into
+ * place, so a crashed or concurrent writer cannot tear the file;
+ * truncated or corrupt files load as far as they validate and the
+ * rest is dropped.
  */
 
 #ifndef ASCEND_RUNTIME_SIM_CACHE_HH
@@ -71,6 +81,8 @@ class SimCache
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::uint64_t entries = 0;
+        std::uint64_t diskLoads = 0;  ///< entries adopted from disk
+        std::uint64_t diskStores = 0; ///< entries persisted to disk
 
         double
         hitRate() const
@@ -108,6 +120,41 @@ class SimCache
     /** One-line human-readable counter summary. */
     std::string summary() const;
 
+    /**
+     * Simulator code-version fingerprint baked into cache files.
+     * Bump it whenever a change can alter any SimResult for an
+     * unchanged key: stale on-disk entries are then ignored wholesale
+     * instead of poisoning new runs.
+     */
+    static const char *codeVersion();
+
+    /** The cache file this library uses under directory @p dir. */
+    static std::string filePath(const std::string &dir);
+
+    /**
+     * Adopt entries from the cache file at @p path. Never throws: a
+     * missing/unreadable file, a header mismatch (magic, format,
+     * pipe/bus dimensions, @p version), or a truncated body simply
+     * ends the load; every entry validated before the damage is kept.
+     * Loaded entries count neither hits nor misses.
+     *
+     * @return the number of entries adopted (also added to the
+     *         diskLoads counter).
+     */
+    std::size_t loadFile(const std::string &path,
+                         const std::string &version = codeVersion());
+
+    /**
+     * Persist the current entries to @p path atomically (temp file +
+     * rename; the parent directory is created if missing). Entries
+     * are written in LRU order, most recent first, so a
+     * lower-capacity reader keeps the hottest ones.
+     *
+     * @return true on success; false leaves any previous file intact.
+     */
+    bool saveFile(const std::string &path,
+                  const std::string &version = codeVersion());
+
   private:
     struct Entry
     {
@@ -120,6 +167,8 @@ class SimCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t diskLoads_ = 0;
+    std::uint64_t diskStores_ = 0;
     std::unordered_map<std::string, Entry> map_;
     std::list<std::string> lru_; ///< front = most recently used
 };

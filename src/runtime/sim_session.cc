@@ -6,7 +6,9 @@
 #include "runtime/sim_session.hh"
 
 #include <cmath>
+#include <cstdlib>
 
+#include "runtime/perf_stats.hh"
 #include "runtime/thread_pool.hh"
 
 namespace ascend {
@@ -33,13 +35,49 @@ derate(core::SimResult r, double slowdown)
     return r;
 }
 
+/**
+ * ASCEND_CACHE_DIR's cache file, or empty when persistence is off.
+ */
+std::string
+persistentCachePath()
+{
+    const char *dir = std::getenv("ASCEND_CACHE_DIR");
+    if (!dir || !*dir)
+        return {};
+    return SimCache::filePath(dir);
+}
+
+void
+saveProcessCache()
+{
+    const std::string path = persistentCachePath();
+    if (!path.empty())
+        SimSession::processCache()->saveFile(path);
+}
+
 } // anonymous namespace
 
 const std::shared_ptr<SimCache> &
 SimSession::processCache()
 {
-    static const std::shared_ptr<SimCache> cache =
-        std::make_shared<SimCache>();
+    static const std::shared_ptr<SimCache> cache = [] {
+        auto c = std::make_shared<SimCache>();
+        const std::string path = persistentCachePath();
+        if (!path.empty())
+            c->loadFile(path); // corruption-tolerant; 0 is fine
+        return c;
+    }();
+    // The save hook registers *after* the cache static above:
+    // std::atexit handlers and static destructors unwind through one
+    // LIFO list, so the save provably runs while the cache is still
+    // alive. (Registering inside the cache's own initializer would
+    // order the save after the destruction.)
+    static const bool saver = [] {
+        if (!persistentCachePath().empty())
+            std::atexit(saveProcessCache);
+        return true;
+    }();
+    (void)saver;
     return cache;
 }
 
@@ -64,6 +102,8 @@ SimSession::runLayer(const model::Layer &layer) const
     core::SimResult result;
     if (cache_->lookup(key, result))
         return result;
+    static PerfScope &perf = perfScope("layer-sim");
+    const PerfTimer timer(perf);
     result = sim_.run(layerCompiler_.compile(layer));
     // Straggler derate: only off the bit-for-bit fault-free path when
     // explicitly enabled with a real slowdown.

@@ -77,6 +77,21 @@ AutoSoc::frameLatencySeconds(
     return config_.dvppFrameSeconds + std::max(worst_compute, mem_sec);
 }
 
+double
+AutoSoc::fluidFrameLatencySeconds(
+    const std::vector<const model::Network *> &nets) const
+{
+    simAssert(nets.size() <= config_.aiCores,
+              "one perception network per core");
+    std::vector<std::vector<CoreTask>> per_core;
+    per_core.reserve(nets.size());
+    for (const model::Network *net : nets)
+        per_core.push_back(coreTasks(session_, *net));
+    const ChipSimResult r =
+        runChipSim(per_core, config_.dram.bandwidthBytesPerSec);
+    return config_.dvppFrameSeconds + r.makespan;
+}
+
 QosResult
 AutoSoc::qosExperiment(unsigned mpam_ways, Bytes critical_working_set,
                        Bytes bulk_stream, unsigned rounds) const

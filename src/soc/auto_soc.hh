@@ -13,6 +13,7 @@
 
 #include "memory/llc.hh"
 #include "runtime/sim_session.hh"
+#include "soc/chip_sim.hh"
 #include "soc/soc_config.hh"
 
 namespace ascend {
@@ -46,6 +47,18 @@ class AutoSoc
      * (the paper's multi-model comprehensive-decision setup).
      */
     double frameLatencySeconds(
+        const std::vector<const model::Network *> &nets) const;
+
+    /**
+     * Contention-aware counterpart of frameLatencySeconds: each
+     * perception network runs layer by layer on its own core while
+     * all cores drain off-chip traffic through the shared automotive
+     * DRAM via the fluid chip simulator, so a bandwidth-heavy model
+     * genuinely delays its neighbours instead of being folded into
+     * one aggregate roofline. DVPP pre-processing is added on top as
+     * in the roofline variant.
+     */
+    double fluidFrameLatencySeconds(
         const std::vector<const model::Network *> &nets) const;
 
     /**

@@ -1,23 +1,119 @@
 /**
  * @file
  * Fluid chip simulation implementation.
+ *
+ * Determinism notes (the sweep benches diff output across thread
+ * counts): every parallel phase below either reduces with exact
+ * operations (min over doubles, integer counts) over slices whose
+ * boundaries are thread-count independent, or writes core-local state
+ * that a serial core-index-ordered pass then folds into the shared
+ * accumulators. The arithmetic sequence is identical to a fully
+ * serial run, so output is byte-identical at any ASCEND_THREADS and
+ * any ASCEND_CHIPSIM_GRAIN.
  */
 
 #include "soc/chip_sim.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <limits>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "runtime/perf_stats.hh"
+#include "runtime/sim_session.hh"
+#include "runtime/thread_pool.hh"
 
 namespace ascend {
 namespace soc {
 
+namespace {
+
+/** Slice count of a fixed-grain partition of [0, n). */
+std::size_t
+sliceCount(std::size_t n, std::size_t grain)
+{
+    grain = std::max<std::size_t>(grain, 1);
+    return (n + grain - 1) / grain;
+}
+
+/**
+ * Invoke fn(begin, end, slice) over fixed-@p grain slices of [0, n).
+ * Boundaries depend only on n and grain — never on the thread count —
+ * so slice-local partial results combine identically however slices
+ * are scheduled. Fewer than two slices run inline (a fan-out would
+ * cost more than the loop body at SoC core counts).
+ */
+template <typename Fn>
+void
+forSlices(std::size_t n, std::size_t grain, const Fn &fn)
+{
+    grain = std::max<std::size_t>(grain, 1);
+    const std::size_t slices = (n + grain - 1) / grain;
+    if (slices < 2) {
+        if (n)
+            fn(std::size_t(0), n, std::size_t(0));
+        return;
+    }
+    runtime::parallelFor(slices, [&](std::size_t s) {
+        fn(s * grain, std::min(n, (s + 1) * grain), s);
+    });
+}
+
+[[noreturn]] void
+throwGuard(const char *which, int events, double now,
+           std::size_t active_cores, std::size_t cores,
+           std::uint64_t tasks_done, std::uint64_t tasks_total)
+{
+    throwError(ErrorCode::GuardExceeded,
+               "runChipSim(%s): event-count guard exceeded after %d "
+               "events at t=%.9g s: %zu/%zu cores active, "
+               "%llu/%llu tasks done — likely a numerical livelock "
+               "in the task set",
+               which, events, now, active_cores, cores,
+               static_cast<unsigned long long>(tasks_done),
+               static_cast<unsigned long long>(tasks_total));
+}
+
+std::uint64_t
+totalTasks(const std::vector<std::vector<CoreTask>> &per_core)
+{
+    std::uint64_t n = 0;
+    for (const auto &q : per_core)
+        n += q.size();
+    return n;
+}
+
+} // anonymous namespace
+
+ChipSimOptions
+ChipSimOptions::fromEnv()
+{
+    static const std::size_t grain = [] {
+        const ChipSimOptions defaults;
+        const char *env = std::getenv("ASCEND_CHIPSIM_GRAIN");
+        if (env && *env) {
+            char *end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (end && *end == '\0' && v > 0)
+                return std::size_t(v);
+            // Malformed values fall through to the built-in default.
+        }
+        return defaults.parallelGrain;
+    }();
+    ChipSimOptions options;
+    options.parallelGrain = grain;
+    return options;
+}
+
 ChipSimResult
 runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
-           double mem_bytes_per_sec)
+           double mem_bytes_per_sec, const ChipSimOptions &options)
 {
+    static runtime::PerfScope &perf = runtime::perfScope("chip-sim");
+    const runtime::PerfTimer timer(perf);
+
     simAssert(mem_bytes_per_sec > 0, "memory capacity must be positive");
     const std::size_t cores = per_core.size();
 
@@ -26,6 +122,7 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
         std::size_t next = 0;
         double computeLeft = 0;
         double bytesLeft = 0;
+        double moved = 0; ///< bytes drained in the current event
         bool active = false;
         double finish = 0;
     };
@@ -52,61 +149,109 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
     for (std::size_t c = 0; c < cores; ++c)
         load_next(c, now);
 
+    // Active-core index set, ascending: finished cores leave every
+    // scan, so one event costs O(active cores), not O(all cores).
+    std::vector<std::size_t> active;
+    active.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        if (state[c].active)
+            active.push_back(c);
+
+    const std::size_t grain = options.parallelGrain;
+    std::vector<unsigned> slice_mem(sliceCount(cores, grain));
+    std::vector<double> slice_dt(slice_mem.size());
+
     int guard = 0;
-    const int guard_limit = 4 * 1000 * 1000;
-    while (true) {
-        // Count memory-active tasks for the max-min share.
+    while (!active.empty()) {
+        const std::size_t n = active.size();
+        const std::size_t slices = sliceCount(n, grain);
+
+        // Rate re-solve point 1/2: count memory-active tasks for the
+        // max-min share (exact integer reduction).
+        forSlices(n, grain,
+                  [&](std::size_t b, std::size_t e, std::size_t s) {
+                      unsigned mem = 0;
+                      for (std::size_t i = b; i < e; ++i)
+                          if (state[active[i]].bytesLeft > 0)
+                              ++mem;
+                      slice_mem[s] = mem;
+                  });
         unsigned mem_active = 0;
-        bool any_active = false;
-        for (const CoreState &cs : state) {
-            if (!cs.active)
-                continue;
-            any_active = true;
-            if (cs.bytesLeft > 0)
-                ++mem_active;
-        }
-        if (!any_active)
-            break;
+        for (std::size_t s = 0; s < slices; ++s)
+            mem_active += slice_mem[s];
         const double rate =
             mem_active ? mem_bytes_per_sec / mem_active : 0;
 
-        // Time to the next completion event.
+        // Rate re-solve point 2/2: time to the next completion event
+        // (exact min reduction).
+        forSlices(n, grain,
+                  [&](std::size_t b, std::size_t e, std::size_t s) {
+                      double best =
+                          std::numeric_limits<double>::infinity();
+                      for (std::size_t i = b; i < e; ++i) {
+                          const CoreState &cs = state[active[i]];
+                          double task_dt = 0;
+                          if (cs.bytesLeft > 0 && cs.computeLeft > 0)
+                              task_dt = std::min(cs.computeLeft,
+                                                 cs.bytesLeft / rate);
+                          else if (cs.bytesLeft > 0)
+                              task_dt = cs.bytesLeft / rate;
+                          else
+                              task_dt = cs.computeLeft;
+                          best = std::min(best, task_dt);
+                      }
+                      slice_dt[s] = best;
+                  });
         double dt = std::numeric_limits<double>::infinity();
-        for (const CoreState &cs : state) {
-            if (!cs.active)
-                continue;
-            double task_dt = 0;
-            if (cs.bytesLeft > 0 && cs.computeLeft > 0)
-                task_dt = std::min(cs.computeLeft, cs.bytesLeft / rate);
-            else if (cs.bytesLeft > 0)
-                task_dt = cs.bytesLeft / rate;
-            else
-                task_dt = cs.computeLeft;
-            dt = std::min(dt, task_dt);
-        }
+        for (std::size_t s = 0; s < slices; ++s)
+            dt = std::min(dt, slice_dt[s]);
         simAssert(dt >= 0 && dt < std::numeric_limits<double>::infinity(),
                   "chip sim event time must be finite");
         dt = std::max(dt, 1e-15); // numerical floor
 
         now += dt;
-        for (std::size_t c = 0; c < cores; ++c) {
-            CoreState &cs = state[c];
-            if (!cs.active)
-                continue;
-            if (cs.computeLeft > 0)
-                cs.computeLeft = std::max(0.0, cs.computeLeft - dt);
-            if (cs.bytesLeft > 0) {
-                const double moved = std::min(cs.bytesLeft, rate * dt);
-                cs.bytesLeft -= moved;
-                bytes_moved += moved;
-            }
-            if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
-                ++cs.next;
-                load_next(c, now);
-            }
+        // Independent cores advance concurrently between re-solve
+        // points; all writes are core-local (load_next only reads the
+        // core's own queue).
+        forSlices(n, grain,
+                  [&](std::size_t b, std::size_t e, std::size_t) {
+                      for (std::size_t i = b; i < e; ++i) {
+                          const std::size_t c = active[i];
+                          CoreState &cs = state[c];
+                          cs.moved = 0;
+                          if (cs.computeLeft > 0)
+                              cs.computeLeft =
+                                  std::max(0.0, cs.computeLeft - dt);
+                          if (cs.bytesLeft > 0) {
+                              const double moved =
+                                  std::min(cs.bytesLeft, rate * dt);
+                              cs.bytesLeft -= moved;
+                              cs.moved = moved;
+                          }
+                          if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
+                              ++cs.next;
+                              load_next(c, now);
+                          }
+                      }
+                  });
+        // Fold fluid byte accounting serially in core-index order —
+        // floating-point addition is the one non-exact reduction, so
+        // its sequence must not depend on scheduling.
+        for (std::size_t i = 0; i < n; ++i)
+            bytes_moved += state[active[i]].moved;
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](std::size_t c) {
+                                        return !state[c].active;
+                                    }),
+                     active.end());
+
+        if (++guard > options.guardLimit) {
+            std::uint64_t done = 0;
+            for (const CoreState &cs : state)
+                done += cs.next;
+            throwGuard("fault-free", guard, now, active.size(), cores,
+                       done, totalTasks(per_core));
         }
-        if (++guard > guard_limit)
-            panic("runChipSim: event-count guard tripped");
     }
 
     ChipSimResult result;
@@ -122,10 +267,14 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
 ChipSimResult
 runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
            double mem_bytes_per_sec,
-           const resilience::ChipFaultPlan &plan)
+           const resilience::ChipFaultPlan &plan,
+           const ChipSimOptions &options)
 {
     if (plan.empty()) // bit-for-bit identical to the fault-free path
-        return runChipSim(per_core, mem_bytes_per_sec);
+        return runChipSim(per_core, mem_bytes_per_sec, options);
+
+    static runtime::PerfScope &perf = runtime::perfScope("chip-sim");
+    const runtime::PerfTimer timer(perf);
 
     simAssert(mem_bytes_per_sec > 0, "memory capacity must be positive");
     const std::size_t cores = per_core.size();
@@ -137,8 +286,10 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
         CoreTask current;           ///< full values, for restart
         double computeLeft = 0;
         double bytesLeft = 0;
+        double moved = 0;           ///< bytes drained this event
         bool active = false;
         bool alive = true;
+        bool reload = false;        ///< completed; refill after advance
         double pausedUntil = 0;     ///< transient repair window
         double slowdown = 1.0;      ///< straggler compute stretch
         std::size_t eventIdx = 0;   ///< next unapplied fault event
@@ -229,8 +380,9 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
         if (state[c].alive)
             load_next(c, now);
 
+    const std::size_t grain = options.parallelGrain;
+
     int guard = 0;
-    const int guard_limit = 4 * 1000 * 1000;
     while (true) {
         // Idle survivors pick up orphaned work as it appears.
         for (std::size_t c = 0; c < cores && !orphans.empty(); ++c)
@@ -277,8 +429,13 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
             }
             now = wake;
             apply_events(now);
-            if (++guard > guard_limit)
-                panic("runChipSim: event-count guard tripped");
+            if (++guard > options.guardLimit) {
+                std::uint64_t done = 0;
+                for (const CoreState &cs : state)
+                    done += cs.next;
+                throwGuard("degraded", guard, now, cores, cores, done,
+                           totalTasks(per_core));
+            }
             continue;
         }
 
@@ -305,26 +462,54 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
 
         const double t0 = now; // running() must see the old time
         now += dt;
+        // Parallel advance between re-solve points: all writes are
+        // core-local; completed cores defer their queue/orphan refill
+        // to the serial index-ordered pass below, so the shared
+        // orphan deque is popped in the same deterministic order as a
+        // serial run (lowest-index core first).
+        forSlices(cores, grain,
+                  [&](std::size_t b, std::size_t e, std::size_t) {
+                      for (std::size_t c = b; c < e; ++c) {
+                          CoreState &cs = state[c];
+                          cs.moved = 0;
+                          if (!cs.active || !cs.alive ||
+                              t0 < cs.pausedUntil)
+                              continue;
+                          if (cs.computeLeft > 0)
+                              cs.computeLeft = std::max(
+                                  0.0,
+                                  cs.computeLeft - dt / cs.slowdown);
+                          if (cs.bytesLeft > 0) {
+                              const double moved =
+                                  std::min(cs.bytesLeft, rate * dt);
+                              cs.bytesLeft -= moved;
+                              cs.moved = moved;
+                          }
+                          if (cs.computeLeft <= 0 && cs.bytesLeft <= 0)
+                              cs.reload = true;
+                      }
+                  });
         for (std::size_t c = 0; c < cores; ++c) {
             CoreState &cs = state[c];
-            if (!cs.active || !cs.alive || t0 < cs.pausedUntil)
-                continue;
-            if (cs.computeLeft > 0)
-                cs.computeLeft =
-                    std::max(0.0, cs.computeLeft - dt / cs.slowdown);
-            if (cs.bytesLeft > 0) {
-                const double moved = std::min(cs.bytesLeft, rate * dt);
-                cs.bytesLeft -= moved;
-                bytes_moved += moved;
-            }
-            if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
+            bytes_moved += cs.moved;
+            if (cs.reload) {
+                cs.reload = false;
                 ++cs.next;
                 load_next(c, now);
             }
         }
         apply_events(now);
-        if (++guard > guard_limit)
-            panic("runChipSim: event-count guard tripped");
+        if (++guard > options.guardLimit) {
+            std::uint64_t done = 0;
+            for (const CoreState &cs : state)
+                done += cs.next;
+            std::size_t live_active = 0;
+            for (const CoreState &cs : state)
+                if (cs.active)
+                    ++live_active;
+            throwGuard("degraded", guard, now, live_active, cores, done,
+                       totalTasks(per_core));
+        }
     }
 
     result.makespan = now;
@@ -334,6 +519,21 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
     result.avgMemUtilization =
         now > 0 ? bytes_moved / (mem_bytes_per_sec * now) : 0.0;
     return result;
+}
+
+std::vector<CoreTask>
+coreTasks(const runtime::SimSession &session, const model::Network &net)
+{
+    const double clk_hz = session.config().clockGhz * 1e9;
+    std::vector<CoreTask> tasks;
+    tasks.reserve(net.layers.size());
+    for (const auto &run : session.runInference(net)) {
+        CoreTask t;
+        t.computeSeconds = double(run.result.totalCycles) / clk_hz;
+        t.memBytes = run.result.extBytes();
+        tasks.push_back(t);
+    }
+    return tasks;
 }
 
 } // namespace soc

@@ -10,6 +10,15 @@
  * stragglers, skewed partitions, and bandwidth contention between
  * unequal tasks are captured.
  *
+ * Hot-path structure: the event loop only touches an *active-core
+ * index set* (finished cores leave every scan), and between two
+ * shared-memory rate re-solve points the independent per-core state
+ * advances in parallel over runtime::parallelFor. Determinism
+ * contract: chunk boundaries are thread-count independent, reductions
+ * are exact (min / integer counts), and fluid byte accounting is
+ * serialized in core-index order — so results are byte-identical at
+ * any ASCEND_THREADS and any chunk grain.
+ *
  * Used to study block-level parallel execution (Section 5.2) on the
  * 910: how uneven layer splits and memory interference stretch the
  * lockstep estimate.
@@ -18,12 +27,18 @@
 #ifndef ASCEND_SOC_CHIP_SIM_HH
 #define ASCEND_SOC_CHIP_SIM_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "common/types.hh"
+#include "model/network.hh"
 #include "resilience/fault_schedule.hh"
 
 namespace ascend {
+namespace runtime {
+class SimSession;
+} // namespace runtime
+
 namespace soc {
 
 /** One unit of core work. */
@@ -48,6 +63,28 @@ struct ChipSimResult
     /// @}
 };
 
+/** Tuning and safety knobs of the fluid event loop. */
+struct ChipSimOptions
+{
+    /**
+     * Event-count bound: exceeding it raises ascend::Error with code
+     * GuardExceeded and progress context (a guard against numerical
+     * livelock; genuine workloads complete in O(total tasks) events).
+     */
+    int guardLimit = 4 * 1000 * 1000;
+
+    /**
+     * Active cores per parallelFor chunk. Active sets smaller than
+     * two chunks advance serially (fan-out overhead would dominate
+     * at SoC scale); results never depend on the grain or the thread
+     * count. ASCEND_CHIPSIM_GRAIN overrides the default.
+     */
+    std::size_t parallelGrain = 512;
+
+    /** Defaults with ASCEND_CHIPSIM_GRAIN applied (parsed once). */
+    static ChipSimOptions fromEnv();
+};
+
 /**
  * Simulate @p per_core task queues over a shared memory system of
  * @p mem_bytes_per_sec. Within one task, compute and its memory
@@ -56,7 +93,9 @@ struct ChipSimResult
  * granted rate.
  */
 ChipSimResult runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
-                         double mem_bytes_per_sec);
+                         double mem_bytes_per_sec,
+                         const ChipSimOptions &options =
+                             ChipSimOptions::fromEnv());
 
 /**
  * Degraded-mode variant: same fluid model plus a per-core fault plan.
@@ -72,7 +111,18 @@ ChipSimResult runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
  */
 ChipSimResult runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
                          double mem_bytes_per_sec,
-                         const resilience::ChipFaultPlan &plan);
+                         const resilience::ChipFaultPlan &plan,
+                         const ChipSimOptions &options =
+                             ChipSimOptions::fromEnv());
+
+/**
+ * Per-core fluid task queue for one instance of @p net on @p session's
+ * core: one task per layer, pure compute seconds at the core clock
+ * plus the layer's external-bus traffic. The building block the SoC
+ * fluid APIs and the block-parallel bench share.
+ */
+std::vector<CoreTask> coreTasks(const runtime::SimSession &session,
+                                const model::Network &net);
 
 } // namespace soc
 } // namespace ascend

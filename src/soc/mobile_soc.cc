@@ -103,5 +103,36 @@ MobileSoc::bigLittleMakespan(const model::Network &big,
     return std::max(big_sec, little_sec);
 }
 
+ChipSimResult
+MobileSoc::fluidBigLittleMakespan(const model::Network &big,
+                                  const model::Network &little) const
+{
+    const unsigned lite_cores = std::max(1u, config_.liteCores);
+    // Each Lite core runs its batch share of every layer (layer-wise
+    // data parallelism, as in bigLittleMakespan); the per-operator
+    // dispatch overhead is paid per core and is not sliced.
+    std::vector<CoreTask> lite_tasks;
+    for (const auto &run : liteSession_.runInference(big)) {
+        CoreTask t;
+        t.computeSeconds =
+            run.result.seconds(lite_.clockGhz) / lite_cores +
+            config_.opOverheadSec;
+        t.memBytes = run.result.extBytes() / lite_cores;
+        lite_tasks.push_back(t);
+    }
+    std::vector<CoreTask> tiny_tasks;
+    for (const auto &run : tinySession_.runInference(little)) {
+        CoreTask t;
+        t.computeSeconds = run.result.seconds(tiny_.clockGhz) +
+                           config_.opOverheadSec;
+        t.memBytes = run.result.extBytes();
+        tiny_tasks.push_back(t);
+    }
+    std::vector<std::vector<CoreTask>> per_core(lite_cores,
+                                                lite_tasks);
+    per_core.push_back(std::move(tiny_tasks));
+    return runChipSim(per_core, config_.dram.bandwidthBytesPerSec);
+}
+
 } // namespace soc
 } // namespace ascend

@@ -10,6 +10,7 @@
 #define ASCEND_SOC_MOBILE_SOC_HH
 
 #include "runtime/sim_session.hh"
+#include "soc/chip_sim.hh"
 #include "soc/soc_config.hh"
 
 namespace ascend {
@@ -55,6 +56,18 @@ class MobileSoc
      */
     double bigLittleMakespan(const model::Network &big,
                              const model::Network &little) const;
+
+    /**
+     * Contention-aware counterpart of bigLittleMakespan: the Lite
+     * cores each run their batch share of @p big layer by layer and
+     * the Tiny core runs @p little, all draining off-chip traffic
+     * through the shared LPDDR interface via the fluid chip
+     * simulator (so the big job's streaming phases and the always-on
+     * network genuinely interfere instead of being rooflined apart).
+     */
+    ChipSimResult
+    fluidBigLittleMakespan(const model::Network &big,
+                           const model::Network &little) const;
 
     const MobileSocConfig &config() const { return config_; }
     const arch::CoreConfig &liteConfig() const { return lite_; }

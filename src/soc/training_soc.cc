@@ -297,5 +297,28 @@ TrainingSoc::inferStep(const model::Network &per_core_net) const
     return runStep(per_core_net, false, model::OptimizerKind::Sgd);
 }
 
+std::vector<CoreTask>
+TrainingSoc::coreTasks(const model::Network &net) const
+{
+    return soc::coreTasks(session_, net);
+}
+
+ChipSimResult
+TrainingSoc::fluidInferStep(const model::Network &per_core_net) const
+{
+    const std::vector<std::vector<CoreTask>> per_core(
+        config_.aiCores, coreTasks(per_core_net));
+    return runChipSim(per_core, config_.llcBandwidth);
+}
+
+ChipSimResult
+TrainingSoc::fluidInferStep(const model::Network &per_core_net,
+                            const resilience::ChipFaultPlan &plan) const
+{
+    const std::vector<std::vector<CoreTask>> per_core(
+        config_.aiCores, coreTasks(per_core_net));
+    return runChipSim(per_core, config_.llcBandwidth, plan);
+}
+
 } // namespace soc
 } // namespace ascend

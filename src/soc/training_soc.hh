@@ -21,7 +21,9 @@
 
 #include "memory/llc.hh"
 #include "model/network.hh"
+#include "resilience/fault_schedule.hh"
 #include "runtime/sim_session.hh"
+#include "soc/chip_sim.hh"
 #include "soc/soc_config.hh"
 
 namespace ascend {
@@ -69,6 +71,24 @@ class TrainingSoc
 
     /** One data-parallel inference batch (forward only). */
     SocStepResult inferStep(const model::Network &per_core_net) const;
+
+    /**
+     * Contention-aware counterpart of inferStep: every core runs
+     * @p per_core_net's layer queue through the fluid chip simulator
+     * while all cores share the LLC bandwidth, so stragglers and
+     * bandwidth interference are captured instead of assumed away by
+     * the lockstep roofline.
+     */
+    ChipSimResult
+    fluidInferStep(const model::Network &per_core_net) const;
+
+    /** Degraded-mode variant: same fluid step under a fault plan. */
+    ChipSimResult
+    fluidInferStep(const model::Network &per_core_net,
+                   const resilience::ChipFaultPlan &plan) const;
+
+    /** Per-core fluid task queue of @p net on this SoC's core. */
+    std::vector<CoreTask> coreTasks(const model::Network &net) const;
 
     /** Peak fp16 throughput: 32 x 8192 FLOPs/cycle at 1 GHz. */
     double peakFlopsFp16() const;

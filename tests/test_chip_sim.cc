@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "compiler/profiler.hh"
@@ -99,6 +100,132 @@ TEST(ChipSim, ContentionVsRooflineGap)
 TEST(ChipSimDeath, ZeroCapacityRejected)
 {
     EXPECT_DEATH(soc::runChipSim({}, 0), "capacity");
+}
+
+TEST(ChipSim, GuardLimitRaisesStructuredError)
+{
+    // 16 tasks need at least 16 events; a guard of 3 must trip with
+    // a recoverable Error carrying progress context, not a panic.
+    std::vector<std::vector<soc::CoreTask>> cores(1);
+    for (int t = 0; t < 16; ++t)
+        cores[0].push_back({0.001, Bytes(1e6)});
+    soc::ChipSimOptions options;
+    options.guardLimit = 3;
+    try {
+        soc::runChipSim(cores, 1e9, options);
+        FAIL() << "guard did not trip";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::GuardExceeded);
+        EXPECT_NE(e.context().find("events"), std::string::npos);
+        EXPECT_NE(e.context().find("tasks"), std::string::npos);
+    }
+}
+
+TEST(ChipSim, GuardLimitRaisesStructuredErrorUnderFaults)
+{
+    std::vector<std::vector<soc::CoreTask>> cores(2);
+    for (int t = 0; t < 16; ++t) {
+        cores[0].push_back({0.001, Bytes(1e6)});
+        cores[1].push_back({0.002, Bytes(2e6)});
+    }
+    resilience::ChipFaultPlan plan;
+    plan.stragglerFactor = {1.5, 1.0};
+    soc::ChipSimOptions options;
+    options.guardLimit = 3;
+    try {
+        soc::runChipSim(cores, 1e9, plan, options);
+        FAIL() << "guard did not trip";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::GuardExceeded);
+    }
+}
+
+/** A mixed workload big enough to exercise several slices. */
+std::vector<std::vector<soc::CoreTask>>
+sliceWorkload(std::size_t cores, std::size_t tasks)
+{
+    std::vector<std::vector<soc::CoreTask>> work(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        for (std::size_t t = 0; t < tasks; ++t)
+            work[c].push_back(
+                soc::CoreTask{1e-4 * double(1 + (c + 3 * t) % 5),
+                              Bytes(((c % 7) + t + 1) * 100000)});
+    return work;
+}
+
+void
+expectChipResultBitEq(const soc::ChipSimResult &a,
+                      const soc::ChipSimResult &b)
+{
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.avgMemUtilization, b.avgMemUtilization);
+    ASSERT_EQ(a.coreFinish.size(), b.coreFinish.size());
+    for (std::size_t c = 0; c < a.coreFinish.size(); ++c)
+        EXPECT_EQ(a.coreFinish[c], b.coreFinish[c]);
+    EXPECT_EQ(a.coreFailures, b.coreFailures);
+    EXPECT_EQ(a.reDispatchedTasks, b.reDispatchedTasks);
+    EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(ChipSim, ParallelSlicingIsBitIdenticalToSerial)
+{
+    // The determinism contract: any chunk grain (including grain 1,
+    // which maximizes fan-out) reproduces the serial event loop's
+    // floating-point results exactly.
+    const auto work = sliceWorkload(64, 10);
+    soc::ChipSimOptions serial;
+    serial.parallelGrain = 1 << 20; // one slice: fully serial
+    const auto base = soc::runChipSim(work, 2e12, serial);
+    for (std::size_t grain : {std::size_t(1), std::size_t(3),
+                              std::size_t(16), std::size_t(512)}) {
+        soc::ChipSimOptions options;
+        options.parallelGrain = grain;
+        expectChipResultBitEq(soc::runChipSim(work, 2e12, options),
+                              base);
+    }
+}
+
+TEST(ChipSim, ParallelSlicingIsBitIdenticalToSerialUnderFaults)
+{
+    const auto work = sliceWorkload(48, 8);
+    resilience::FaultSpec spec;
+    spec.seed = 11;
+    spec.cores = 48;
+    spec.horizonSec = 0.01;
+    spec.stragglerFraction = 0.25;
+    spec.stragglerSlowdown = 1.5;
+    spec.coreTransientPerSec = 200.0;
+    spec.coreRepairSec = 1e-4;
+    spec.corePermanentPerSec = 50.0;
+    const auto plan = resilience::ChipFaultPlan::fromSchedule(
+        resilience::FaultSchedule::generate(spec), 48);
+    soc::ChipSimOptions serial;
+    serial.parallelGrain = 1 << 20;
+    const auto base = soc::runChipSim(work, 2e12, plan, serial);
+    EXPECT_GT(base.coreFailures, 0u); // the plan actually bites
+    for (std::size_t grain :
+         {std::size_t(1), std::size_t(5), std::size_t(512)}) {
+        soc::ChipSimOptions options;
+        options.parallelGrain = grain;
+        expectChipResultBitEq(
+            soc::runChipSim(work, 2e12, plan, options), base);
+    }
+}
+
+TEST(ChipSim, ActiveSetSkipsLongFinishedCores)
+{
+    // One long-running core next to many short-lived ones: correct
+    // accounting requires finished cores to stop influencing the
+    // shared-memory share.
+    std::vector<std::vector<soc::CoreTask>> work(9);
+    work[0].push_back({0.0, Bytes(8e9)}); // long memory drain
+    for (std::size_t c = 1; c < 9; ++c)
+        work[c].push_back({0.0, Bytes(1e9)});
+    // 1 GB/s shared: 9-way split until the short cores finish (at
+    // t=9), then the long core drains alone. Total = 9 + 7 = 16 s.
+    const auto r = soc::runChipSim(work, 1e9);
+    EXPECT_NEAR(r.makespan, 16.0, 1e-6);
+    EXPECT_NEAR(r.coreFinish[1], 9.0, 1e-6);
 }
 
 // ------------------------------------------------------ histogram

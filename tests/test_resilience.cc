@@ -427,6 +427,90 @@ TEST(ChipSimFaults, AllCoresDeadReportsIncomplete)
     EXPECT_EQ(r.coreFailures, 2u);
 }
 
+TEST(ChipClusterRun, EmptyPlansBitwiseEqualScalarPath)
+{
+    // With no chip faults and no link faults, the chip-sim-driven
+    // training run must equal "measure the chip once, feed the
+    // scalar" bit for bit.
+    const auto work = sampleChipWork(8);
+    const double bw = 100e9;
+    const cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 51 * kMiB;
+    const RetryPolicy retry;
+    const CheckpointPolicy checkpoint;
+
+    const soc::ChipSimResult chip = soc::runChipSim(work, bw);
+    cluster::TrainingJob scalar_job = job;
+    scalar_job.stepSecondsPerChip = chip.makespan;
+    const cluster::TrainingRunResult scalar =
+        cluster::trainingRunWithFaults(
+            scalar_job, cl, 64, 10, FaultSchedule(), retry,
+            DegradedMode::ContinueDegraded, checkpoint);
+
+    const cluster::ChipTrainingRunResult r =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            checkpoint);
+    EXPECT_EQ(r.stepSecondsPerChip, chip.makespan);
+    EXPECT_EQ(r.run.seconds, scalar.seconds);
+    EXPECT_EQ(r.run.stepsDone, scalar.stepsDone);
+    EXPECT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.chip.completed);
+}
+
+TEST(ChipClusterRun, ChipFaultsStretchTheRun)
+{
+    const auto work = sampleChipWork(8);
+    const double bw = 1e12; // compute-bound: stragglers must show
+    const cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 51 * kMiB;
+    const RetryPolicy retry;
+    const CheckpointPolicy checkpoint;
+
+    const cluster::ChipTrainingRunResult clean =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            checkpoint);
+
+    ChipFaultPlan plan;
+    plan.stragglerFactor.assign(8, 1.0);
+    plan.stragglerFactor[2] = 2.0;
+    plan.coreEvents.resize(8);
+    const cluster::ChipTrainingRunResult slow =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, plan, FaultSchedule(), retry,
+            DegradedMode::ContinueDegraded, checkpoint);
+    EXPECT_GT(slow.stepSecondsPerChip, clean.stepSecondsPerChip);
+    EXPECT_GT(slow.run.seconds, clean.run.seconds);
+    EXPECT_TRUE(slow.run.completed);
+}
+
+TEST(ChipClusterRun, DeadChipFailsStopsAtStepZero)
+{
+    const auto work = sampleChipWork(2);
+    ChipFaultPlan plan;
+    plan.stragglerFactor.assign(2, 1.0);
+    plan.coreEvents.resize(2);
+    for (unsigned c = 0; c < 2; ++c)
+        plan.coreEvents[c].push_back(
+            FaultEvent{FaultKind::CorePermanent, 1e-6, c, 0.0, 1.0});
+    const cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 51 * kMiB;
+    const cluster::ChipTrainingRunResult r =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, 100e9, plan, FaultSchedule(),
+            RetryPolicy(), DegradedMode::ContinueDegraded,
+            CheckpointPolicy());
+    EXPECT_FALSE(r.run.completed);
+    EXPECT_FALSE(r.chip.completed);
+    EXPECT_EQ(r.run.stepsDone, 0u);
+}
+
 TEST(DramEcc, ZeroRateBitwiseEqualsBase)
 {
     memory::DramModel plain(memory::hbm2Ascend910());

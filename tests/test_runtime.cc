@@ -8,8 +8,10 @@
  */
 
 #include <atomic>
+#include <fstream>
 #include <memory>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -175,6 +177,128 @@ TEST(SimCache, LruEvictionAndCounters)
     EXPECT_EQ(cache.stats().entries, 0u);
     EXPECT_EQ(cache.stats().hits, 3u);
     EXPECT_FALSE(cache.lookup("a", out));
+}
+
+// ------------------------------------------- SimCache persistence
+
+/** Unique file path inside gtest's per-run temp directory. */
+std::string
+cacheFileFor(const char *test)
+{
+    return ::testing::TempDir() + "ascend_" + test + "_cache.bin";
+}
+
+TEST(SimCachePersist, WarmColdRoundTripIsBitIdentical)
+{
+    const std::string path = cacheFileFor("roundtrip");
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Std);
+    const auto net = model::zoo::resnet50(1);
+
+    auto cold_cache = std::make_shared<runtime::SimCache>();
+    runtime::SimSession cold(cfg, {}, cold_cache);
+    const auto uncached = cold.runInference(net);
+    ASSERT_TRUE(cold_cache->saveFile(path));
+    EXPECT_EQ(cold_cache->stats().diskStores,
+              cold_cache->stats().entries);
+
+    auto warm_cache = std::make_shared<runtime::SimCache>();
+    EXPECT_EQ(warm_cache->loadFile(path),
+              cold_cache->stats().entries);
+    runtime::SimSession warm(cfg, {}, warm_cache);
+    const auto cached = warm.runInference(net);
+
+    // Every layer must come from disk (no re-simulation) and match
+    // the original result bit for bit.
+    EXPECT_EQ(warm_cache->stats().misses, 0u);
+    ASSERT_EQ(uncached.size(), cached.size());
+    for (std::size_t i = 0; i < uncached.size(); ++i)
+        expectResultEq(uncached[i].result, cached[i].result);
+}
+
+TEST(SimCachePersist, VersionMismatchInvalidatesCleanly)
+{
+    const std::string path = cacheFileFor("version");
+    runtime::SimCache cache;
+    core::SimResult r;
+    r.totalCycles = 42;
+    cache.insert("key", r);
+    ASSERT_TRUE(cache.saveFile(path, "code-v1"));
+
+    runtime::SimCache stale;
+    EXPECT_EQ(stale.loadFile(path, "code-v2"), 0u);
+    EXPECT_EQ(stale.stats().entries, 0u);
+
+    runtime::SimCache fresh;
+    EXPECT_EQ(fresh.loadFile(path, "code-v1"), 1u);
+    core::SimResult out;
+    EXPECT_TRUE(fresh.lookup("key", out));
+    EXPECT_EQ(out.totalCycles, 42u);
+}
+
+TEST(SimCachePersist, TruncatedAndCorruptFilesAreIgnored)
+{
+    const std::string path = cacheFileFor("corrupt");
+    runtime::SimCache cache;
+    core::SimResult r;
+    for (int i = 0; i < 8; ++i) {
+        r.totalCycles = Cycles(i + 1);
+        cache.insert("key-" + std::to_string(i), r);
+    }
+    ASSERT_TRUE(cache.saveFile(path));
+
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        blob = os.str();
+    }
+
+    // A missing file and an empty file load nothing, without error.
+    runtime::SimCache empty;
+    EXPECT_EQ(empty.loadFile(path + ".does-not-exist"), 0u);
+    const std::string empty_path = cacheFileFor("corrupt_empty");
+    std::ofstream(empty_path, std::ios::binary).flush();
+    EXPECT_EQ(empty.loadFile(empty_path), 0u);
+
+    // Garbage at the front invalidates the whole file.
+    const std::string garbage_path = cacheFileFor("corrupt_garbage");
+    {
+        std::ofstream out(garbage_path, std::ios::binary);
+        out << "definitely not a cache file" << blob;
+    }
+    EXPECT_EQ(empty.loadFile(garbage_path), 0u);
+
+    // Truncation at any point must never crash, and every entry that
+    // validated before the cut must survive.
+    for (std::size_t cut = 0; cut < blob.size(); cut += 97) {
+        const std::string cut_path = cacheFileFor("corrupt_cut");
+        {
+            std::ofstream out(cut_path, std::ios::binary);
+            out.write(blob.data(), std::streamsize(cut));
+        }
+        runtime::SimCache partial;
+        const std::size_t loaded = partial.loadFile(cut_path);
+        EXPECT_LE(loaded, 8u);
+        EXPECT_EQ(partial.stats().entries, loaded);
+    }
+    // The untruncated file loads everything.
+    runtime::SimCache full;
+    EXPECT_EQ(full.loadFile(path), 8u);
+}
+
+TEST(SimCachePersist, SaveCreatesParentDirectories)
+{
+    const std::string dir =
+        ::testing::TempDir() + "ascend_nested/dir";
+    const std::string path = runtime::SimCache::filePath(dir);
+    runtime::SimCache cache;
+    core::SimResult r;
+    r.totalCycles = 7;
+    cache.insert("k", r);
+    ASSERT_TRUE(cache.saveFile(path));
+    runtime::SimCache again;
+    EXPECT_EQ(again.loadFile(path), 1u);
 }
 
 TEST(ThreadPool, ResultsLandByIndex)

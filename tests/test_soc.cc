@@ -8,6 +8,7 @@
 
 #include "model/zoo.hh"
 #include "soc/auto_soc.hh"
+#include "soc/chip_sim.hh"
 #include "soc/mobile_soc.hh"
 #include "soc/training_soc.hh"
 
@@ -87,6 +88,50 @@ TEST(TrainingSoc, WeightPinningKicksInForSmallModels)
     const auto s = TrainingSoc(small).trainStep(net);
     const auto b = TrainingSoc(big).trainStep(net);
     EXPECT_GT(b.llcHitRate(), s.llcHitRate() + 0.05);
+}
+
+TEST(TrainingSoc, FluidInferStepEqualsManualChipSim)
+{
+    // fluidInferStep is sugar over runChipSim with the per-core task
+    // queue replicated across all AI cores; the two must agree
+    // bit for bit.
+    TrainingSoc soc;
+    const auto net = model::zoo::resnet50(4);
+    const std::vector<std::vector<CoreTask>> work(
+        soc.config().aiCores, soc.coreTasks(net));
+    const ChipSimResult manual =
+        runChipSim(work, soc.config().llcBandwidth);
+    const ChipSimResult fluid = soc.fluidInferStep(net);
+    EXPECT_EQ(fluid.makespan, manual.makespan);
+    EXPECT_EQ(fluid.avgMemUtilization, manual.avgMemUtilization);
+    EXPECT_EQ(fluid.coreFinish, manual.coreFinish);
+    EXPECT_TRUE(fluid.completed);
+    EXPECT_EQ(fluid.coreFinish.size(), soc.config().aiCores);
+}
+
+TEST(MobileSoc, FluidBigLittleMakespanIsSane)
+{
+    MobileSoc kirin;
+    const ChipSimResult r = kirin.fluidBigLittleMakespan(
+        model::zoo::mobilenetV2(1), model::zoo::gestureNet(1));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.coreFinish.size(),
+              kirin.config().liteCores + kirin.config().tinyCores);
+    EXPECT_GT(r.makespan, 0.0);
+    // Shared LPDDR is the only memory path; some contention must show.
+    EXPECT_GT(r.avgMemUtilization, 0.0);
+}
+
+TEST(AutoSoc, FluidFrameLatencyGrowsWithMoreNetworks)
+{
+    AutoSoc soc;
+    const auto det = model::zoo::resnet50(1);
+    const auto seg = model::zoo::mobilenetV2(1);
+    const double one = soc.fluidFrameLatencySeconds({&det});
+    const double two = soc.fluidFrameLatencySeconds({&det, &seg});
+    EXPECT_GT(one, soc.config().dvppFrameSeconds);
+    // Adding a second network contends for DRAM: never faster.
+    EXPECT_GE(two, one);
 }
 
 TEST(MobileSoc, PeakAndEfficiencyMatchTable8)
