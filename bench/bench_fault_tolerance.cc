@@ -21,6 +21,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -345,12 +346,27 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    std::string golden;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
+        if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
-        else
-            fatal("unknown flag '%s' (only --smoke)", argv[i]);
+        } else if (std::strcmp(argv[i], "--golden") == 0 &&
+                   i + 1 < argc) {
+            golden = argv[++i];
+        } else {
+            fatal("unknown flag '%s' (--smoke, --golden <file>)",
+                  argv[i]);
+        }
     }
+
+    // With --golden the bench self-checks its stdout against the
+    // checked-in file through bench::checkGolden, so the whitespace
+    // normalization lives in exactly one place instead of per-CI-job
+    // sed pipelines.
+    std::ostringstream captured;
+    std::streambuf *const saved =
+        golden.empty() ? nullptr : std::cout.rdbuf(captured.rdbuf());
+
     trainingSweep(smoke);
     chipSweep(smoke);
     // The chip-sim-driven cluster sweep is not part of the golden
@@ -358,5 +374,13 @@ main(int argc, char **argv)
     if (!smoke)
         chipClusterSweep();
     eccCheckpointCurves(smoke);
+
+    if (saved) {
+        std::cout.rdbuf(saved);
+        std::cout << captured.str();
+        if (!bench::checkGolden(captured.str(), golden))
+            return 1;
+        std::cerr << "golden OK: " << golden << "\n";
+    }
     return 0;
 }

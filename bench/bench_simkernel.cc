@@ -16,6 +16,7 @@
 #include "noc/mesh.hh"
 #include "runtime/sim_cache.hh"
 #include "runtime/sim_session.hh"
+#include "soc/chip_sim.hh"
 
 using namespace ascend;
 
@@ -97,6 +98,31 @@ BM_LlcAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LlcAccess);
+
+void
+BM_ChipSimFluid(benchmark::State &state)
+{
+    // 64 cores x 32 tasks with index-derived skew: exercises the
+    // parallel fluid advance (and the Chip trace spans under
+    // ASCEND_TRACE). The workload is identical every iteration, so
+    // the emitted spans dedup and the trace stays iteration-count
+    // independent.
+    std::vector<std::vector<soc::CoreTask>> per_core(64);
+    for (std::size_t c = 0; c < per_core.size(); ++c) {
+        per_core[c].resize(32);
+        for (std::size_t t = 0; t < per_core[c].size(); ++t) {
+            soc::CoreTask &task = per_core[c][t];
+            task.computeSeconds = 1e-5 * double(1 + (c * 7 + t * 3) % 11);
+            task.memBytes = Bytes(4 * kKiB * (1 + (c + 5 * t) % 13));
+        }
+    }
+    for (auto _ : state) {
+        auto r = soc::runChipSim(per_core, 1.0e12);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 32);
+}
+BENCHMARK(BM_ChipSimFluid);
 
 void
 BM_MeshCycle(benchmark::State &state)

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/golden.hh"
 #include "common/table.hh"
 #include "runtime/perf_stats.hh"
 #include "runtime/profile.hh"
@@ -59,6 +60,31 @@ banner(const std::string &what)
     std::cout << "\n=================================================\n"
               << what << "\n"
               << "=================================================\n";
+}
+
+/**
+ * Golden-diff helper: compare @p actual against the file at
+ * @p goldenPath. Trailing-whitespace normalization happens here, in
+ * one place, for every bench and CI check — individual benches must
+ * not re-normalize. On mismatch prints a per-line diff to stderr and
+ * returns false; a missing golden file is also a failure (with a
+ * hint to regenerate).
+ */
+inline bool
+checkGolden(const std::string &actual, const std::string &goldenPath)
+{
+    std::string expected;
+    if (!readFileText(goldenPath, expected)) {
+        std::cerr << "golden: cannot read " << goldenPath
+                  << " (regenerate by redirecting this bench's stdout"
+                     " there)\n";
+        return false;
+    }
+    const std::string diff = diffGolden(expected, actual);
+    if (diff.empty())
+        return true;
+    std::cerr << "golden mismatch vs " << goldenPath << ":\n" << diff;
+    return false;
 }
 
 /** Print a fusion-group ratio series (Figs. 4-8 format). */

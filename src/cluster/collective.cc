@@ -13,6 +13,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace ascend {
 namespace cluster {
@@ -40,6 +41,28 @@ log2Ceil(unsigned n)
         ++steps;
     }
     return steps;
+}
+
+/**
+ * Emit a collective phase span on the Cluster track. The collectives
+ * are closed-form (no global clock), so each top-level call lays its
+ * phases out sequentially from ts 0 in nanoseconds; identical calls
+ * dedup in the trace.
+ */
+double
+tracePhase(const char *name, double startSec, double sec, Bytes bytes)
+{
+    if (sec > 0) {
+        if (obs::Tracer *tracer = obs::Tracer::current()) {
+            const std::uint64_t t0 =
+                std::uint64_t(std::llround(startSec * 1e9));
+            const std::uint64_t t1 =
+                std::uint64_t(std::llround((startSec + sec) * 1e9));
+            tracer->span(obs::Domain::Cluster, 1, name, t0, t1 - t0,
+                         bytes);
+        }
+    }
+    return sec;
 }
 
 } // anonymous namespace
@@ -96,15 +119,20 @@ serverAllreduceSeconds(const ServerConfig &server, Bytes bytes)
               "server groups must divide chips");
     const unsigned groups = server.chips / server.chipsPerGroup;
     // Reduce-scatter + allgather within the group over HCCS.
-    double sec = ringAllreduceSeconds(bytes, server.chipsPerGroup,
-                                      server.hccsBytesPerSec,
-                                      server.linkLatencySec);
+    double sec = tracePhase(
+        "hccs-ring", 0,
+        ringAllreduceSeconds(bytes, server.chipsPerGroup,
+                             server.hccsBytesPerSec,
+                             server.linkLatencySec),
+        bytes);
     if (groups > 1) {
         // Group leaders exchange the group-reduced shard over PCIe.
         const Bytes shard = bytes / server.chipsPerGroup;
-        sec += ringAllreduceSeconds(shard, groups,
-                                    server.pcieBytesPerSec,
-                                    server.linkLatencySec);
+        sec += tracePhase("pcie-ring", sec,
+                          ringAllreduceSeconds(shard, groups,
+                                               server.pcieBytesPerSec,
+                                               server.linkLatencySec),
+                          shard);
     }
     return sec;
 }
@@ -120,9 +148,11 @@ hierarchicalAllreduceSeconds(const ClusterConfig &cluster, Bytes bytes)
         // Phase 2: ring allreduce across servers on each shard; the
         // shards move in parallel over each server's uplink.
         const Bytes shard = bytes / srv.chips;
-        sec += ringAllreduceSeconds(shard, cluster.servers,
-                                    cluster.netBytesPerSec,
-                                    cluster.netLatencySec);
+        sec += tracePhase("inter-server-ring", sec,
+                          ringAllreduceSeconds(shard, cluster.servers,
+                                               cluster.netBytesPerSec,
+                                               cluster.netLatencySec),
+                          shard);
     }
     return sec;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace ascend {
 namespace core {
@@ -40,8 +41,10 @@ SimResult::accumulate(const SimResult &other)
     totalCycles += other.totalCycles;
     totalFlops += other.totalFlops;
     instrsExecuted += other.instrsExecuted;
+    barriers += other.barriers;
     for (std::size_t p = 0; p < isa::kNumPipes; ++p) {
         pipes[p].busyCycles += other.pipes[p].busyCycles;
+        pipes[p].waitCycles += other.pipes[p].waitCycles;
         pipes[p].instrs += other.pipes[p].instrs;
         pipes[p].finishCycle = totalCycles;
     }
@@ -60,6 +63,9 @@ CoreSim::run(const isa::Program &program, Trace *trace) const
     std::array<TokenHeap, isa::kNumFlags> tokens;
 
     SimResult result;
+    // One gate check per run; record sites below stay branch-free
+    // when tracing is off.
+    obs::Tracer *const tracer = obs::Tracer::current();
 
     std::size_t next_dispatch = 0;
     Cycles dispatch_clock = 0;
@@ -112,12 +118,18 @@ CoreSim::run(const isa::Program &program, Trace *trace) const
                         ps.finishCycle = pipeAvail[p];
                         ++ps.instrs;
                         result.totalFlops += i.flops;
+                        Bytes moved = 0;
                         for (unsigned b = 0; b < i.numBusUses; ++b) {
                             const isa::BusUse &use = i.busUses[b];
                             result.busBytes[
                                 static_cast<std::size_t>(use.bus)] +=
                                 use.bytes;
+                            moved += use.bytes;
                         }
+                        if (tracer)
+                            tracer->span(obs::Domain::Core,
+                                         std::uint32_t(p) + 1, i.tag,
+                                         start, i.cycles, moved);
                         ++result.instrsExecuted;
                     } else if (i.op == Opcode::SetFlag) {
                         Cycles t = std::max(pipeAvail[p],
@@ -130,8 +142,13 @@ CoreSim::run(const isa::Program &program, Trace *trace) const
                             break; // pipe blocked; try others
                         Cycles t = heap.top();
                         heap.pop();
-                        pipeAvail[p] = std::max({pipeAvail[p],
-                                                 entry.dispatchCycle, t});
+                        // Stall accounting: cycles the pipe sat ready
+                        // but waiting for the producer's token.
+                        const Cycles ready = std::max(
+                            pipeAvail[p], entry.dispatchCycle);
+                        if (t > ready)
+                            result.pipes[p].waitCycles += t - ready;
+                        pipeAvail[p] = std::max(ready, t);
                         ++result.instrsExecuted;
                     } else {
                         panic("CoreSim: Barrier reached a pipe queue");
@@ -160,6 +177,7 @@ CoreSim::run(const isa::Program &program, Trace *trace) const
                 dispatched_this_cycle = 0;
                 ++next_dispatch;
                 ++result.instrsExecuted;
+                ++result.barriers;
                 progress = true;
                 continue;
             }

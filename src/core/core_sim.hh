@@ -33,6 +33,7 @@ struct PipeStats
 {
     Cycles busyCycles = 0;   ///< cycles spent executing instructions
     Cycles finishCycle = 0;  ///< completion time of the pipe's last instr
+    Cycles waitCycles = 0;   ///< stall: blocked on WAIT_FLAG tokens
     std::uint64_t instrs = 0;
 };
 
@@ -42,6 +43,7 @@ struct SimResult
     Cycles totalCycles = 0;
     Flops totalFlops = 0;
     std::uint64_t instrsExecuted = 0;
+    std::uint64_t barriers = 0; ///< stall: full PSQ pipe drains
     std::array<PipeStats, isa::kNumPipes> pipes{};
     std::array<Bytes, isa::kNumBuses> busBytes{};
 
@@ -78,6 +80,20 @@ struct SimResult
     {
         return totalCycles
             ? static_cast<double>(pipe(p).busyCycles) / totalCycles : 0;
+    }
+
+    /**
+     * Busy fraction of @p p over the pipe's own active window (up to
+     * its last retirement). Low occupancy with high utilization means
+     * the pipe finished early; low occupancy with a late finish means
+     * it sat in WAIT_FLAG stalls (see PipeStats::waitCycles).
+     */
+    double
+    occupancy(isa::Pipe p) const
+    {
+        const PipeStats &s = pipe(p);
+        return s.finishCycle
+            ? static_cast<double>(s.busyCycles) / s.finishCycle : 0;
     }
 
     /** Wall-clock seconds at @p clock_ghz. */

@@ -1,62 +1,21 @@
 /**
  * @file
- * Execution-trace capture for the core simulator.
- *
- * Collects one event per executed instruction (pipe, start cycle,
- * duration, tag) and emits the Chrome trace-event JSON format, so a
- * simulated program's pipe overlap (the paper's Fig. 3 picture) can
- * be inspected in chrome://tracing or Perfetto.
+ * Source-compatible shim: core::Trace moved into the observability
+ * layer as obs::PipeTrace (src/obs/pipe_trace.hh). Include that
+ * header — and use obs::Tracer / ASCEND_TRACE for process-wide
+ * multi-layer traces.
  */
 
 #ifndef ASCEND_CORE_TRACE_HH
 #define ASCEND_CORE_TRACE_HH
 
-#include <ostream>
-#include <vector>
-
-#include "isa/instruction.hh"
+#include "obs/pipe_trace.hh"
 
 namespace ascend {
 namespace core {
 
-/** One executed instruction. */
-struct TraceEvent
-{
-    isa::Pipe pipe;
-    Cycles start;
-    Cycles duration;
-    const char *tag; ///< static label from the compiler; may be null
-};
-
-/**
- * Event collector + Chrome JSON writer.
- */
-class Trace
-{
-  public:
-    void
-    add(isa::Pipe pipe, Cycles start, Cycles duration, const char *tag)
-    {
-        events_.push_back(TraceEvent{pipe, start, duration, tag});
-    }
-
-    const std::vector<TraceEvent> &events() const { return events_; }
-    std::size_t size() const { return events_.size(); }
-    void clear() { events_.clear(); }
-
-    /**
-     * Write Chrome trace-event JSON: one thread per pipe, one
-     * complete ("X") event per instruction, timestamps in cycles
-     * (microseconds field reused as cycles).
-     */
-    void writeChromeJson(std::ostream &os) const;
-
-    /** Busy cycles recorded for @p pipe. */
-    Cycles busyCycles(isa::Pipe pipe) const;
-
-  private:
-    std::vector<TraceEvent> events_;
-};
+using TraceEvent = obs::PipeTraceEvent;
+using Trace = obs::PipeTrace;
 
 } // namespace core
 } // namespace ascend

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "memory/dram.hh"
+#include "obs/tracer.hh"
 
 namespace ascend {
 namespace memory {
@@ -98,7 +99,27 @@ Llc::access(std::uint64_t addr, unsigned part)
     }
     base[victim] = Line{tag, tick_, true};
     ++stats_[part].misses;
+    traceSample();
     return false;
+}
+
+void
+Llc::traceSample() const
+{
+    // Sampled hit-rate counter on the access-tick timeline; the
+    // stride keeps the trace compact and the disabled-path cost at
+    // one relaxed load per miss.
+    if ((tick_ & 0xfff) != 0)
+        return;
+    if (obs::Tracer *tracer = obs::Tracer::current()) {
+        std::uint64_t hits = 0, accesses = 0;
+        for (const LlcPartStats &s : stats_) {
+            hits += s.hits;
+            accesses += s.accesses();
+        }
+        tracer->counter(obs::Domain::Llc, "llc hit rate", tick_,
+                        accesses ? double(hits) / double(accesses) : 0);
+    }
 }
 
 const LlcPartStats &

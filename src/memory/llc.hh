@@ -83,6 +83,9 @@ class Llc
     void resetStats();
 
   private:
+    /** Sampled obs counter emission (misses only, strided). */
+    void traceSample() const;
+
     struct Line
     {
         std::uint64_t tag = ~0ull;

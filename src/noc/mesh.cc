@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace ascend {
 namespace noc {
@@ -189,7 +190,15 @@ MeshNoc::run(TrafficPattern &traffic, std::uint64_t cycles,
         latencyHist_[pri].sample(lat);
     };
 
+    obs::Tracer *const tracer = obs::Tracer::current();
     for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+        // Sampled fabric counters on the NoC cycle timeline.
+        if (tracer && (cycle & 0xff) == 0) {
+            tracer->counter(obs::Domain::Noc, "delivered flits", cycle,
+                            double(stats.delivered));
+            tracer->counter(obs::Domain::Noc, "injection stalls", cycle,
+                            double(stats.injectionStalls));
+        }
         // Offer new traffic.
         for (unsigned node = 0; node < n; ++node) {
             unsigned dst;
@@ -301,6 +310,9 @@ MeshNoc::run(TrafficPattern &traffic, std::uint64_t cycles,
     for (std::uint64_t u : link_use)
         max_use = std::max(max_use, u);
     stats.maxLinkUtilization = cycles ? double(max_use) / cycles : 0;
+    if (tracer)
+        tracer->span(obs::Domain::Noc, 1, "mesh-run", 0, cycles,
+                     stats.delivered * config_.flitBytes);
     return stats;
 }
 

@@ -1,19 +1,19 @@
 /**
  * @file
- * Chrome trace-event JSON emission.
+ * Chrome trace-event JSON emission for single-run pipe traces.
  */
 
-#include "core/trace.hh"
+#include "obs/pipe_trace.hh"
 
 namespace ascend {
-namespace core {
+namespace obs {
 
 void
-Trace::writeChromeJson(std::ostream &os) const
+PipeTrace::writeChromeJson(std::ostream &os) const
 {
     os << "{\"traceEvents\":[";
     bool first = true;
-    for (const TraceEvent &e : events_) {
+    for (const PipeTraceEvent &e : events_) {
         if (!first)
             os << ",";
         first = false;
@@ -35,14 +35,14 @@ Trace::writeChromeJson(std::ostream &os) const
 }
 
 Cycles
-Trace::busyCycles(isa::Pipe pipe) const
+PipeTrace::busyCycles(isa::Pipe pipe) const
 {
     Cycles total = 0;
-    for (const TraceEvent &e : events_)
+    for (const PipeTraceEvent &e : events_)
         if (e.pipe == pipe)
             total += e.duration;
     return total;
 }
 
-} // namespace core
+} // namespace obs
 } // namespace ascend

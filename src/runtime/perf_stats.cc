@@ -48,7 +48,71 @@ secondsStr(double s)
     return buf;
 }
 
+/** Relaxed atomic mirror of PipeTotals (hot-path increments). */
+struct AtomicPipeTotals
+{
+    std::array<std::atomic<std::uint64_t>, isa::kNumPipes> busy{};
+    std::array<std::atomic<std::uint64_t>, isa::kNumPipes> wait{};
+    std::array<std::atomic<std::uint64_t>, isa::kNumPipes> instrs{};
+    std::atomic<std::uint64_t> totalCycles{0};
+    std::atomic<std::uint64_t> barriers{0};
+    std::atomic<std::uint64_t> results{0};
+};
+
+AtomicPipeTotals &
+atomicPipeTotals()
+{
+    static AtomicPipeTotals t;
+    return t;
+}
+
 } // anonymous namespace
+
+void
+chargePipes(const core::SimResult &result)
+{
+    AtomicPipeTotals &t = atomicPipeTotals();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    for (std::size_t p = 0; p < isa::kNumPipes; ++p) {
+        t.busy[p].fetch_add(result.pipes[p].busyCycles, relaxed);
+        t.wait[p].fetch_add(result.pipes[p].waitCycles, relaxed);
+        t.instrs[p].fetch_add(result.pipes[p].instrs, relaxed);
+    }
+    t.totalCycles.fetch_add(result.totalCycles, relaxed);
+    t.barriers.fetch_add(result.barriers, relaxed);
+    t.results.fetch_add(1, relaxed);
+}
+
+PipeTotals
+pipeTotals()
+{
+    const AtomicPipeTotals &t = atomicPipeTotals();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    PipeTotals out;
+    for (std::size_t p = 0; p < isa::kNumPipes; ++p) {
+        out.busyCycles[p] = t.busy[p].load(relaxed);
+        out.waitCycles[p] = t.wait[p].load(relaxed);
+        out.instrs[p] = t.instrs[p].load(relaxed);
+    }
+    out.totalCycles = t.totalCycles.load(relaxed);
+    out.barriers = t.barriers.load(relaxed);
+    out.results = t.results.load(relaxed);
+    return out;
+}
+
+void
+resetPipeTotals()
+{
+    AtomicPipeTotals &t = atomicPipeTotals();
+    for (std::size_t p = 0; p < isa::kNumPipes; ++p) {
+        t.busy[p] = 0;
+        t.wait[p] = 0;
+        t.instrs[p] = 0;
+    }
+    t.totalCycles = 0;
+    t.barriers = 0;
+    t.results = 0;
+}
 
 PerfScope &
 perfScope(const std::string &name)
@@ -99,6 +163,21 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
         rows.push_back({"scope " + e.name,
                         std::to_string(e.calls) + " calls",
                         secondsStr(e.seconds)});
+    const PipeTotals totals = pipeTotals();
+    if (totals.results) {
+        rows.push_back({"sim results",
+                        std::to_string(totals.results), ""});
+        rows.push_back({"sim barriers",
+                        std::to_string(totals.barriers), ""});
+        for (std::size_t p = 0; p < isa::kNumPipes; ++p) {
+            const auto pipe = static_cast<isa::Pipe>(p);
+            rows.push_back(
+                {std::string("pipe ") + isa::toString(pipe),
+                 std::to_string(totals.busyCycles[p]) + " busy (" +
+                     percent(totals.utilization(pipe)) + ")",
+                 std::to_string(totals.waitCycles[p]) + " wait"});
+        }
+    }
 
     std::size_t w0 = 0, w1 = 0;
     for (const Row &r : rows) {

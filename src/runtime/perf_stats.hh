@@ -18,12 +18,14 @@
 #ifndef ASCEND_RUNTIME_PERF_STATS_HH
 #define ASCEND_RUNTIME_PERF_STATS_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/core_sim.hh"
 #include "runtime/sim_cache.hh"
 
 namespace ascend {
@@ -111,9 +113,44 @@ struct PerfEntry
 std::vector<PerfEntry> perfSnapshot();
 
 /**
+ * Process-wide simulated per-pipe totals, accumulated from every
+ * SimResult a SimSession produced or served from cache. Unlike the
+ * wall-clock scopes these are *sim-time* counters, so for a fixed
+ * workload they are deterministic at any ASCEND_THREADS.
+ */
+struct PipeTotals
+{
+    std::array<std::uint64_t, isa::kNumPipes> busyCycles{};
+    std::array<std::uint64_t, isa::kNumPipes> waitCycles{};
+    std::array<std::uint64_t, isa::kNumPipes> instrs{};
+    std::uint64_t totalCycles = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t results = 0; ///< SimResults charged
+
+    /** Busy fraction of @p p against the summed run cycles. */
+    double
+    utilization(isa::Pipe p) const
+    {
+        const auto i = static_cast<std::size_t>(p);
+        return totalCycles
+            ? double(busyCycles[i]) / double(totalCycles) : 0;
+    }
+};
+
+/** Charge one simulated result into the process-wide pipe totals. */
+void chargePipes(const core::SimResult &result);
+
+/** Point-in-time copy of the pipe totals. */
+PipeTotals pipeTotals();
+
+/** Zero the pipe totals (tests isolate themselves with this). */
+void resetPipeTotals();
+
+/**
  * The ASCEND_SIM_STATS=1 report: cache counters (including hit rate
- * and disk load/store counts), thread budget, and per-scope timings
- * in one aligned table. Ends with a newline.
+ * and disk load/store counts), thread budget, per-scope timings, and
+ * — when any simulation ran — per-pipe busy/wait cycle totals with
+ * utilization, in one aligned table. Ends with a newline.
  */
 std::string simStatsReport(const SimCache::Stats &stats,
                            unsigned threads);

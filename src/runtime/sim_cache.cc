@@ -44,7 +44,7 @@ putDouble(std::string &s, double v)
 /// machine-local, not an interchange format).
 constexpr char kFileMagic[8] = {'A', 'S', 'C', 'S',
                                 'I', 'M', 'C', '\n'};
-constexpr std::uint64_t kFileFormatVersion = 1;
+constexpr std::uint64_t kFileFormatVersion = 2;
 
 void
 writeU64(std::string &buf, std::uint64_t v)
@@ -69,9 +69,11 @@ writeResult(std::string &buf, const core::SimResult &r)
     writeU64(buf, r.totalCycles);
     writeU64(buf, r.totalFlops);
     writeU64(buf, r.instrsExecuted);
+    writeU64(buf, r.barriers);
     for (const core::PipeStats &p : r.pipes) {
         writeU64(buf, p.busyCycles);
         writeU64(buf, p.finishCycle);
+        writeU64(buf, p.waitCycles);
         writeU64(buf, p.instrs);
     }
     for (Bytes b : r.busBytes)
@@ -119,9 +121,12 @@ struct FileReader
         if (!readU64(v))
             return false;
         r.instrsExecuted = v;
+        if (!readU64(r.barriers))
+            return false;
         for (core::PipeStats &p : r.pipes) {
             if (!readU64(p.busyCycles) ||
-                !readU64(p.finishCycle) || !readU64(p.instrs))
+                !readU64(p.finishCycle) ||
+                !readU64(p.waitCycles) || !readU64(p.instrs))
                 return false;
         }
         for (Bytes &b : r.busBytes)
@@ -309,7 +314,7 @@ SimCache::codeVersion()
     // change (anything that can alter a SimResult for an unchanged
     // fingerprint). The fingerprints themselves already separate
     // config/option/layer changes; this guards the code.
-    return "ascend-sim-3";
+    return "ascend-sim-4";
 }
 
 std::string

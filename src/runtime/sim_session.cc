@@ -31,6 +31,7 @@ derate(core::SimResult r, double slowdown)
     for (core::PipeStats &p : r.pipes) {
         p.busyCycles = stretch(p.busyCycles);
         p.finishCycle = stretch(p.finishCycle);
+        p.waitCycles = stretch(p.waitCycles);
     }
     return r;
 }
@@ -100,8 +101,13 @@ SimSession::runLayer(const model::Layer &layer) const
 {
     const std::string key = sessionKey_ + fingerprint(layer);
     core::SimResult result;
-    if (cache_->lookup(key, result))
+    if (cache_->lookup(key, result)) {
+        // Cache hits charge too: the pipe totals describe the
+        // workload simulated, not the cache behavior, so for a fixed
+        // workload they are hit-pattern- and thread-independent.
+        chargePipes(result);
         return result;
+    }
     static PerfScope &perf = perfScope("layer-sim");
     const PerfTimer timer(perf);
     result = sim_.run(layerCompiler_.compile(layer));
@@ -110,6 +116,7 @@ SimSession::runLayer(const model::Layer &layer) const
     if (resilience_.enabled && resilience_.stragglerSlowdown > 1.0)
         result = derate(result, resilience_.stragglerSlowdown);
     cache_->insert(key, result);
+    chargePipes(result);
     return result;
 }
 

@@ -166,11 +166,46 @@ ThreadPool::parallelFor(std::size_t n,
     }
 }
 
+namespace {
+
+/** Slot + lock behind globalPool(); swappable by ScopedThreadPoolSize. */
+std::mutex &
+poolMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unique_ptr<ThreadPool> &
+poolSlot()
+{
+    static std::unique_ptr<ThreadPool> slot;
+    return slot;
+}
+
+} // anonymous namespace
+
 ThreadPool &
 globalPool()
 {
-    static ThreadPool pool;
-    return pool;
+    std::lock_guard<std::mutex> lock(poolMutex());
+    if (!poolSlot())
+        poolSlot() = std::make_unique<ThreadPool>();
+    return *poolSlot();
+}
+
+ScopedThreadPoolSize::ScopedThreadPoolSize(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(poolMutex());
+    poolSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+ScopedThreadPoolSize::~ScopedThreadPoolSize()
+{
+    // Drop the override; the next globalPool() call rebuilds the
+    // environment-sized default lazily.
+    std::lock_guard<std::mutex> lock(poolMutex());
+    poolSlot().reset();
 }
 
 } // namespace runtime

@@ -119,6 +119,25 @@ class ThreadPool
 /** The process-wide pool, sized by ASCEND_THREADS at first use. */
 ThreadPool &globalPool();
 
+/**
+ * Test hook: replace the process-wide pool with one of @p threads
+ * total concurrency for the lifetime of the scope, then restore the
+ * environment-sized default. Lets one process sweep thread counts
+ * (the determinism fuzz tests) without respawning under different
+ * ASCEND_THREADS. Must only be constructed and destroyed while no
+ * parallelFor is in flight.
+ */
+class ScopedThreadPoolSize
+{
+  public:
+    explicit ScopedThreadPoolSize(unsigned threads);
+    ~ScopedThreadPoolSize();
+
+    ScopedThreadPoolSize(const ScopedThreadPoolSize &) = delete;
+    ScopedThreadPoolSize &operator=(const ScopedThreadPoolSize &) =
+        delete;
+};
+
 /** parallelFor on the process-wide pool. */
 inline void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)

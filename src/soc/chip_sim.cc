@@ -15,12 +15,14 @@
 #include "soc/chip_sim.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <limits>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 #include "runtime/perf_stats.hh"
 #include "runtime/sim_session.hh"
 #include "runtime/thread_pool.hh"
@@ -85,6 +87,13 @@ totalTasks(const std::vector<std::vector<CoreTask>> &per_core)
     return n;
 }
 
+/** Fluid sim time (seconds) to trace nanoseconds. */
+std::uint64_t
+traceNs(double seconds)
+{
+    return std::uint64_t(std::llround(seconds * 1e9));
+}
+
 } // anonymous namespace
 
 ChipSimOptions
@@ -124,9 +133,14 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
         double bytesLeft = 0;
         double moved = 0; ///< bytes drained in the current event
         bool active = false;
+        double taskStart = 0; ///< sim time the current task began
         double finish = 0;
     };
     std::vector<CoreState> state(cores);
+    // Spans carry only sim-time fields, so recording from the
+    // parallel advance below is safe: the tracer's merge step
+    // restores a deterministic order.
+    obs::Tracer *const tracer = obs::Tracer::current();
 
     auto load_next = [&](std::size_t c, double now) {
         CoreState &cs = state[c];
@@ -136,6 +150,7 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
             cs.bytesLeft = double(t.memBytes);
             if (cs.computeLeft > 0 || cs.bytesLeft > 0) {
                 cs.active = true;
+                cs.taskStart = now;
                 return;
             }
             ++cs.next; // zero task: completes instantly
@@ -229,6 +244,15 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
                               cs.moved = moved;
                           }
                           if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
+                              if (tracer) {
+                                  const std::uint64_t t0 =
+                                      traceNs(cs.taskStart);
+                                  tracer->span(
+                                      obs::Domain::Chip,
+                                      std::uint32_t(c) + 1, "task",
+                                      t0, traceNs(now) - t0,
+                                      per_core[c][cs.next].memBytes);
+                              }
                               ++cs.next;
                               load_next(c, now);
                           }
@@ -293,9 +317,11 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
         double pausedUntil = 0;     ///< transient repair window
         double slowdown = 1.0;      ///< straggler compute stretch
         std::size_t eventIdx = 0;   ///< next unapplied fault event
+        double taskStart = 0;       ///< sim time the current task began
         double finish = 0;
     };
     std::vector<CoreState> state(cores);
+    obs::Tracer *const tracer = obs::Tracer::current();
     for (std::size_t c = 0; c < cores; ++c)
         if (c < plan.stragglerFactor.size())
             state[c].slowdown =
@@ -318,16 +344,20 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
     auto load_next = [&](std::size_t c, double now) {
         CoreState &cs = state[c];
         while (cs.next < per_core[c].size()) {
-            if (start_task(cs, per_core[c][cs.next]))
+            if (start_task(cs, per_core[c][cs.next])) {
+                cs.taskStart = now;
                 return;
+            }
             ++cs.next; // zero task: completes instantly
         }
         while (!orphans.empty()) {
             const CoreTask t = orphans.front();
             orphans.pop_front();
             ++result.reDispatchedTasks;
-            if (start_task(cs, t))
+            if (start_task(cs, t)) {
+                cs.taskStart = now;
                 return;
+            }
         }
         cs.active = false;
         cs.finish = now;
@@ -494,6 +524,16 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
             bytes_moved += cs.moved;
             if (cs.reload) {
                 cs.reload = false;
+                if (tracer) {
+                    // The span covers the whole residency including
+                    // repair pauses and restarts, matching what a
+                    // wall-observer of the degraded chip would see.
+                    const std::uint64_t t0 = traceNs(cs.taskStart);
+                    tracer->span(obs::Domain::Chip,
+                                 std::uint32_t(c) + 1, "task", t0,
+                                 traceNs(now) - t0,
+                                 cs.current.memBytes);
+                }
                 ++cs.next;
                 load_next(c, now);
             }

@@ -140,77 +140,9 @@ TEST(ChipSim, GuardLimitRaisesStructuredErrorUnderFaults)
     }
 }
 
-/** A mixed workload big enough to exercise several slices. */
-std::vector<std::vector<soc::CoreTask>>
-sliceWorkload(std::size_t cores, std::size_t tasks)
-{
-    std::vector<std::vector<soc::CoreTask>> work(cores);
-    for (std::size_t c = 0; c < cores; ++c)
-        for (std::size_t t = 0; t < tasks; ++t)
-            work[c].push_back(
-                soc::CoreTask{1e-4 * double(1 + (c + 3 * t) % 5),
-                              Bytes(((c % 7) + t + 1) * 100000)});
-    return work;
-}
-
-void
-expectChipResultBitEq(const soc::ChipSimResult &a,
-                      const soc::ChipSimResult &b)
-{
-    EXPECT_EQ(a.makespan, b.makespan);
-    EXPECT_EQ(a.avgMemUtilization, b.avgMemUtilization);
-    ASSERT_EQ(a.coreFinish.size(), b.coreFinish.size());
-    for (std::size_t c = 0; c < a.coreFinish.size(); ++c)
-        EXPECT_EQ(a.coreFinish[c], b.coreFinish[c]);
-    EXPECT_EQ(a.coreFailures, b.coreFailures);
-    EXPECT_EQ(a.reDispatchedTasks, b.reDispatchedTasks);
-    EXPECT_EQ(a.completed, b.completed);
-}
-
-TEST(ChipSim, ParallelSlicingIsBitIdenticalToSerial)
-{
-    // The determinism contract: any chunk grain (including grain 1,
-    // which maximizes fan-out) reproduces the serial event loop's
-    // floating-point results exactly.
-    const auto work = sliceWorkload(64, 10);
-    soc::ChipSimOptions serial;
-    serial.parallelGrain = 1 << 20; // one slice: fully serial
-    const auto base = soc::runChipSim(work, 2e12, serial);
-    for (std::size_t grain : {std::size_t(1), std::size_t(3),
-                              std::size_t(16), std::size_t(512)}) {
-        soc::ChipSimOptions options;
-        options.parallelGrain = grain;
-        expectChipResultBitEq(soc::runChipSim(work, 2e12, options),
-                              base);
-    }
-}
-
-TEST(ChipSim, ParallelSlicingIsBitIdenticalToSerialUnderFaults)
-{
-    const auto work = sliceWorkload(48, 8);
-    resilience::FaultSpec spec;
-    spec.seed = 11;
-    spec.cores = 48;
-    spec.horizonSec = 0.01;
-    spec.stragglerFraction = 0.25;
-    spec.stragglerSlowdown = 1.5;
-    spec.coreTransientPerSec = 200.0;
-    spec.coreRepairSec = 1e-4;
-    spec.corePermanentPerSec = 50.0;
-    const auto plan = resilience::ChipFaultPlan::fromSchedule(
-        resilience::FaultSchedule::generate(spec), 48);
-    soc::ChipSimOptions serial;
-    serial.parallelGrain = 1 << 20;
-    const auto base = soc::runChipSim(work, 2e12, plan, serial);
-    EXPECT_GT(base.coreFailures, 0u); // the plan actually bites
-    for (std::size_t grain :
-         {std::size_t(1), std::size_t(5), std::size_t(512)}) {
-        soc::ChipSimOptions options;
-        options.parallelGrain = grain;
-        expectChipResultBitEq(
-            soc::runChipSim(work, 2e12, plan, options), base);
-    }
-}
+// The serial-vs-parallel bit-identity checks moved to
+// test_determinism.cc, which sweeps thread counts x grains
+// in one seeded fuzz loop.
 
 TEST(ChipSim, ActiveSetSkipsLongFinishedCores)
 {

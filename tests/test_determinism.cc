@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Determinism fuzz: one seeded sweep asserting byte-identical result
+ * fingerprints across thread-pool sizes (the in-process equivalent of
+ * ASCEND_THREADS, via runtime::ScopedThreadPoolSize) x chip-sim
+ * parallel grains (ASCEND_CHIPSIM_GRAIN). Subsumes the old pairwise
+ * serial-vs-parallel checks that lived in test_chip_sim.cc.
+ *
+ * Fingerprints print every field with %.17g / exact integers, so any
+ * single-ULP drift in a floating-point reduction fails the EXPECT_EQ
+ * with a readable diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "model/zoo.hh"
+#include "resilience/fault_schedule.hh"
+#include "runtime/sim_cache.hh"
+#include "runtime/sim_session.hh"
+#include "runtime/thread_pool.hh"
+#include "soc/chip_sim.hh"
+
+namespace ascend {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 4, 13};
+constexpr std::size_t kGrains[] = {1, 512};
+
+std::string
+fp(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fingerprint(const soc::ChipSimResult &r)
+{
+    std::string s = "makespan=" + fp(r.makespan) +
+                    " memutil=" + fp(r.avgMemUtilization) +
+                    " failures=" + std::to_string(r.coreFailures) +
+                    " redispatched=" +
+                    std::to_string(r.reDispatchedTasks) +
+                    " completed=" + std::to_string(r.completed);
+    for (double f : r.coreFinish)
+        s += " " + fp(f);
+    return s;
+}
+
+std::string
+fingerprint(const core::SimResult &r)
+{
+    std::string s = "cycles=" + std::to_string(r.totalCycles) +
+                    " flops=" + std::to_string(r.totalFlops) +
+                    " instrs=" + std::to_string(r.instrsExecuted) +
+                    " barriers=" + std::to_string(r.barriers);
+    for (const core::PipeStats &p : r.pipes)
+        s += " [" + std::to_string(p.busyCycles) + "," +
+             std::to_string(p.finishCycle) + "," +
+             std::to_string(p.waitCycles) + "," +
+             std::to_string(p.instrs) + "]";
+    for (Bytes b : r.busBytes)
+        s += " " + std::to_string(b);
+    return s;
+}
+
+/** Seeded random chip workload: @p cores queues of @p tasks each. */
+std::vector<std::vector<soc::CoreTask>>
+randomWorkload(std::uint64_t seed, unsigned cores, unsigned tasks)
+{
+    Rng rng(seed);
+    std::vector<std::vector<soc::CoreTask>> work(cores);
+    for (auto &queue : work) {
+        queue.resize(tasks);
+        for (soc::CoreTask &t : queue) {
+            t.computeSeconds = 1e-5 * (1.0 + rng.uniformReal() * 9.0);
+            t.memBytes = Bytes(1000 * (1 + rng.uniform(500)));
+        }
+    }
+    return work;
+}
+
+TEST(Determinism, ChipSimAcrossThreadsAndGrains)
+{
+    for (std::uint64_t seed : {7ull, 1234ull}) {
+        const auto work = randomWorkload(seed, 64, 12);
+        std::string base;
+        for (unsigned threads : kThreadCounts) {
+            for (std::size_t grain : kGrains) {
+                runtime::ScopedThreadPoolSize pool(threads);
+                soc::ChipSimOptions options;
+                options.parallelGrain = grain;
+                const std::string now =
+                    fingerprint(soc::runChipSim(work, 2e12, options));
+                if (base.empty())
+                    base = now;
+                else
+                    EXPECT_EQ(now, base)
+                        << "seed " << seed << " threads " << threads
+                        << " grain " << grain;
+            }
+        }
+        // Fully serial slicing (one giant chunk) must also agree.
+        soc::ChipSimOptions serial;
+        serial.parallelGrain = 1 << 20;
+        EXPECT_EQ(fingerprint(soc::runChipSim(work, 2e12, serial)),
+                  base);
+    }
+}
+
+TEST(Determinism, ChipSimUnderFaultsAcrossThreadsAndGrains)
+{
+    const auto work = randomWorkload(99, 48, 8);
+    resilience::FaultSpec spec;
+    spec.seed = 11;
+    spec.cores = 48;
+    spec.horizonSec = 0.01;
+    spec.stragglerFraction = 0.25;
+    spec.stragglerSlowdown = 1.5;
+    spec.coreTransientPerSec = 200.0;
+    spec.coreRepairSec = 1e-4;
+    spec.corePermanentPerSec = 50.0;
+    const auto plan = resilience::ChipFaultPlan::fromSchedule(
+        resilience::FaultSchedule::generate(spec), 48);
+    std::string base;
+    unsigned base_failures = 0;
+    for (unsigned threads : kThreadCounts) {
+        for (std::size_t grain : kGrains) {
+            runtime::ScopedThreadPoolSize pool(threads);
+            soc::ChipSimOptions options;
+            options.parallelGrain = grain;
+            const auto r = soc::runChipSim(work, 2e12, plan, options);
+            if (base.empty()) {
+                base = fingerprint(r);
+                base_failures = r.coreFailures;
+            } else {
+                EXPECT_EQ(fingerprint(r), base)
+                    << "threads " << threads << " grain " << grain;
+            }
+        }
+    }
+    EXPECT_GT(base_failures, 0u); // the fault plan actually bites
+}
+
+TEST(Determinism, CoreSimSessionAcrossThreads)
+{
+    const auto cfg = arch::makeCoreConfig(arch::CoreVersion::Tiny);
+    const auto net = model::zoo::gestureNet(1);
+    std::string base;
+    for (unsigned threads : kThreadCounts) {
+        runtime::ScopedThreadPoolSize pool(threads);
+        // Fresh private cache: every pass re-simulates all layers.
+        runtime::SimSession session(
+            cfg, {}, std::make_shared<runtime::SimCache>());
+        const std::string now =
+            fingerprint(session.inferenceResult(net));
+        if (base.empty())
+            base = now;
+        else
+            EXPECT_EQ(now, base) << "threads " << threads;
+    }
+}
+
+} // anonymous namespace
+} // namespace ascend
