@@ -20,12 +20,14 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "cluster/elastic_run.hh"
 #include "cluster/fault_collective.hh"
 #include "memory/dram.hh"
 #include "resilience/fault_schedule.hh"
@@ -284,6 +286,147 @@ chipClusterSweep()
                  "run then pays communication on top.\n";
 }
 
+/** One policy's makespan in the elastic comparison. */
+struct ElasticPoint
+{
+    std::string name;
+    double seconds = 0;
+    unsigned stepsDone = 0;
+    bool completed = true;
+    resilience::ElasticCounters counters;
+};
+
+/**
+ * Fault-free vs. penalty-model vs. elastic makespans on one chaotic
+ * schedule: the bench trajectory BENCH_resilience.json tracks across
+ * PRs. Serial and closed-form — byte-identical at any thread count.
+ */
+std::vector<ElasticPoint>
+elasticSweep(bool smoke)
+{
+    bench::banner("Elastic recovery vs. penalty-model recovery "
+                  "(64 chips, node deaths + ECC + stragglers)");
+
+    cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.stepSecondsPerChip = 0.05;
+    job.gradientBytes = 51 * kMiB;
+    job.samplesPerChipStep = 256;
+    const unsigned chips = 64;
+    const unsigned steps = smoke ? 20 : 60;
+    const RetryPolicy retry;
+
+    FaultSpec spec;
+    spec.seed = 42;
+    spec.horizonSec = 600.0;
+    spec.cores = unsigned(ceilDiv(chips, cl.server.chips));
+    spec.links = spec.cores;
+    spec.corePermanentPerSec = 0.15;
+    spec.linkDownPerSec = 1.0;
+    spec.linkDegradePerSec = 0.5;
+    spec.eccUncorrectablePerSec = 0.2;
+    spec.stragglerFraction = 0.25;
+    spec.stragglerSlowdown = 1.6;
+    const FaultSchedule faults = FaultSchedule::generate(spec);
+
+    cluster::ElasticOptions elastic;
+    elastic.stateBytes = 256 * kMiB;
+    elastic.failoverRestartSec = 2.0;
+    elastic.reshardRestartSec = 4.0;
+    elastic.checkpoint.enabled = true;
+    elastic.checkpoint.intervalSec = 1e6; // step cadence drives it
+    elastic.checkpoint.saveSec = 0.5;
+    elastic.checkpoint.restartSec = 1.0;
+    elastic.checkpointEverySteps = 5;
+    cluster::ElasticOptions spares = elastic;
+    spares.spareNodes = 2;
+
+    std::vector<ElasticPoint> points;
+    {
+        ElasticPoint p;
+        p.name = "fault-free";
+        const cluster::ElasticRunResult r = cluster::runElastic(
+            job, cl, chips, steps, FaultSchedule(), retry,
+            DegradedMode::ContinueDegraded);
+        p.seconds = r.seconds;
+        p.stepsDone = r.stepsDone;
+        p.completed = r.completed;
+        p.counters = r.counters;
+        points.push_back(p);
+    }
+    {
+        ElasticPoint p;
+        p.name = "degraded (penalty model)";
+        const cluster::TrainingRunResult r =
+            cluster::trainingRunWithFaults(
+                job, cl, chips, steps, faults, retry,
+                DegradedMode::ContinueDegraded, CheckpointPolicy{},
+                spec.eccUncorrectablePerSec);
+        p.seconds = r.seconds;
+        p.stepsDone = r.stepsDone;
+        p.completed = r.completed;
+        points.push_back(p);
+    }
+    const std::pair<const char *, const cluster::ElasticOptions *>
+        variants[] = {{"elastic (2 spares)", &spares},
+                      {"elastic (shrink only)", &elastic}};
+    for (const auto &variant : variants) {
+        ElasticPoint p;
+        p.name = variant.first;
+        const cluster::ElasticRunResult r = cluster::runElastic(
+            job, cl, chips, steps, faults, retry,
+            DegradedMode::ContinueDegraded, *variant.second);
+        p.seconds = r.seconds;
+        p.stepsDone = r.stepsDone;
+        p.completed = r.completed;
+        p.counters = r.counters;
+        points.push_back(p);
+    }
+
+    TextTable t("elastic vs. penalty recovery");
+    t.header({"policy", "seconds", "steps", "failovers", "shrinks",
+              "rollbacks", "replayed", "speculations", "completed"});
+    for (const ElasticPoint &p : points)
+        t.row({p.name, TextTable::num(p.seconds, 3),
+               TextTable::num(std::uint64_t(p.stepsDone)) + "/" +
+                   TextTable::num(std::uint64_t(steps)),
+               TextTable::num(p.counters.failovers),
+               TextTable::num(p.counters.shrinks),
+               TextTable::num(p.counters.rollbacks),
+               TextTable::num(p.counters.replayedSteps),
+               TextTable::num(p.counters.speculations),
+               p.completed ? "yes" : "no"});
+    t.print(std::cout);
+    std::cout << "the penalty model keeps dead nodes in the ring; the "
+                 "elastic engine fails\nover to spares, shrinks the "
+                 "world, and replays actual lost steps.\n";
+    return points;
+}
+
+/** Satellite of BENCH_runtime.json: the resilience trajectory. */
+void
+writeResilienceJson(const std::vector<ElasticPoint> &points)
+{
+    std::ofstream out("BENCH_resilience.json");
+    out << "{\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ElasticPoint &p = points[i];
+        out << "    {\"name\": \"" << p.name
+            << "\", \"seconds\": " << p.seconds
+            << ", \"steps_done\": " << p.stepsDone
+            << ", \"completed\": " << (p.completed ? "true" : "false")
+            << ", \"failovers\": " << p.counters.failovers
+            << ", \"shrinks\": " << p.counters.shrinks
+            << ", \"rollbacks\": " << p.counters.rollbacks
+            << ", \"replayed_steps\": " << p.counters.replayedSteps
+            << ", \"speculations\": " << p.counters.speculations
+            << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    // stderr: the golden-diffed stdout must stay byte-identical.
+    std::cerr << "wrote BENCH_resilience.json\n";
+}
+
 void
 eccCheckpointCurves(bool smoke)
 {
@@ -373,7 +516,9 @@ main(int argc, char **argv)
     // smoke output (it exists since PR 3); full runs only.
     if (!smoke)
         chipClusterSweep();
+    const std::vector<ElasticPoint> elastic = elasticSweep(smoke);
     eccCheckpointCurves(smoke);
+    writeResilienceJson(elastic);
 
     if (saved) {
         std::cout.rdbuf(saved);

@@ -120,7 +120,8 @@ trackName(std::uint32_t pid, std::uint32_t tid)
       case Domain::Chip:    return "core" + std::to_string(tid - 1);
       case Domain::Llc:     return "llc";
       case Domain::Noc:     return "mesh";
-      case Domain::Cluster: return "phases";
+      case Domain::Cluster:
+        return tid == 2 ? "elastic recovery" : "phases";
     }
     return "?";
 }

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Checkpoint serialization: field-wise, versioned, checksummed.
+ */
+
+#include "resilience/checkpoint.hh"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ascend {
+namespace resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'S', 'C', 'C', 'K', 'P', 'T', '\n'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+/** Longest string the loader accepts (corrupt lengths must not OOM). */
+constexpr std::size_t kMaxStringLen = std::size_t(1) << 24;
+
+void
+writeU64(std::string &buf, std::uint64_t v)
+{
+    char raw[sizeof(v)];
+    std::memcpy(raw, &v, sizeof(v));
+    buf.append(raw, sizeof(v));
+}
+
+void
+writeDouble(std::string &buf, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(v));
+    writeU64(buf, bits);
+}
+
+void
+writeString(std::string &buf, const std::string &s)
+{
+    writeU64(buf, s.size());
+    buf.append(s);
+}
+
+/** FNV-1a over @p data — cheap, deterministic, endian-stable here. */
+std::uint64_t
+checksum(const char *data, std::size_t len)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+struct Reader
+{
+    const std::string &data;
+    std::size_t pos = 0;
+
+    bool
+    readU64(std::uint64_t &v)
+    {
+        if (data.size() - pos < sizeof(v))
+            return false;
+        std::memcpy(&v, data.data() + pos, sizeof(v));
+        pos += sizeof(v);
+        return true;
+    }
+
+    bool
+    readDouble(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!readU64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+
+    bool
+    readString(std::string &s)
+    {
+        std::uint64_t len = 0;
+        if (!readU64(len) || len > kMaxStringLen ||
+            data.size() - pos < len)
+            return false;
+        s.assign(data.data() + pos, std::size_t(len));
+        pos += std::size_t(len);
+        return true;
+    }
+};
+
+void
+writeCounters(std::string &buf, const ElasticCounters &c)
+{
+    writeU64(buf, c.failovers);
+    writeU64(buf, c.shrinks);
+    writeU64(buf, c.rollbacks);
+    writeU64(buf, c.replayedSteps);
+    writeU64(buf, c.speculations);
+    writeU64(buf, c.retries);
+    writeU64(buf, c.degradedSteps);
+    writeU64(buf, c.sparesUsed);
+    writeU64(buf, c.spareExhausted);
+    writeU64(buf, c.checkpointsSaved);
+}
+
+bool
+readCounters(Reader &r, ElasticCounters &c)
+{
+    return r.readU64(c.failovers) && r.readU64(c.shrinks) &&
+           r.readU64(c.rollbacks) && r.readU64(c.replayedSteps) &&
+           r.readU64(c.speculations) && r.readU64(c.retries) &&
+           r.readU64(c.degradedSteps) && r.readU64(c.sparesUsed) &&
+           r.readU64(c.spareExhausted) &&
+           r.readU64(c.checkpointsSaved);
+}
+
+} // anonymous namespace
+
+bool
+ElasticCounters::operator==(const ElasticCounters &o) const
+{
+    return failovers == o.failovers && shrinks == o.shrinks &&
+           rollbacks == o.rollbacks &&
+           replayedSteps == o.replayedSteps &&
+           speculations == o.speculations && retries == o.retries &&
+           degradedSteps == o.degradedSteps &&
+           sparesUsed == o.sparesUsed &&
+           spareExhausted == o.spareExhausted &&
+           checkpointsSaved == o.checkpointsSaved;
+}
+
+bool
+RunCheckpoint::operator==(const RunCheckpoint &o) const
+{
+    return runId == o.runId && sequence == o.sequence &&
+           nextStep == o.nextStep && simTimeSec == o.simTimeSec &&
+           activeNodes == o.activeNodes &&
+           sparesLeft == o.sparesLeft &&
+           lastCheckpointStep == o.lastCheckpointStep &&
+           lastCheckpointSec == o.lastCheckpointSec &&
+           nodeEventCursor == o.nodeEventCursor &&
+           eccEventCursor == o.eccEventCursor &&
+           counters == o.counters && eventLog == o.eventLog;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::string name)
+    : dir_(std::move(dir)), name_(std::move(name))
+{
+}
+
+std::string
+CheckpointStore::path() const
+{
+    return dir_ + "/" + name_ + ".ckpt";
+}
+
+bool
+CheckpointStore::save(const RunCheckpoint &state) const
+{
+    std::string buf;
+    buf.reserve(256 + state.eventLog.size() +
+                state.activeNodes.size() * sizeof(std::uint64_t));
+    buf.append(kMagic, sizeof(kMagic));
+    writeU64(buf, kFormatVersion);
+    writeString(buf, state.runId);
+    writeU64(buf, state.sequence);
+    writeU64(buf, state.nextStep);
+    writeDouble(buf, state.simTimeSec);
+    writeU64(buf, state.activeNodes.size());
+    for (std::uint32_t node : state.activeNodes)
+        writeU64(buf, node);
+    writeU64(buf, state.sparesLeft);
+    writeU64(buf, state.lastCheckpointStep);
+    writeDouble(buf, state.lastCheckpointSec);
+    writeU64(buf, state.nodeEventCursor);
+    writeU64(buf, state.eccEventCursor);
+    writeCounters(buf, state.counters);
+    writeString(buf, state.eventLog);
+    writeU64(buf, checksum(buf.data(), buf.size()));
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const std::string target = path();
+    const std::string tmp =
+        target + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(buf.data(), std::streamsize(buf.size()));
+        if (!out) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, target, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+CheckpointStore::load(RunCheckpoint &out,
+                      const std::string &run_id) const
+{
+    std::string data;
+    {
+        std::ifstream in(path(), std::ios::binary);
+        if (!in)
+            return false;
+        std::ostringstream os;
+        os << in.rdbuf();
+        data = os.str();
+    }
+    if (data.size() < sizeof(kMagic) + 2 * sizeof(std::uint64_t) ||
+        std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
+        return false;
+    // The trailing checksum covers everything before it; verify it
+    // first so a flipped bit anywhere is one clean refusal.
+    const std::size_t body = data.size() - sizeof(std::uint64_t);
+    std::uint64_t want = 0;
+    std::memcpy(&want, data.data() + body, sizeof(want));
+    if (checksum(data.data(), body) != want)
+        return false;
+
+    Reader r{data, sizeof(kMagic)};
+    std::uint64_t format = 0;
+    RunCheckpoint s;
+    if (!r.readU64(format) || format != kFormatVersion ||
+        !r.readString(s.runId) || s.runId != run_id ||
+        !r.readU64(s.sequence) || !r.readU64(s.nextStep) ||
+        !r.readDouble(s.simTimeSec))
+        return false;
+    std::uint64_t nodes = 0;
+    if (!r.readU64(nodes) || nodes > kMaxStringLen)
+        return false;
+    s.activeNodes.reserve(std::size_t(nodes));
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        std::uint64_t node = 0;
+        if (!r.readU64(node))
+            return false;
+        s.activeNodes.push_back(std::uint32_t(node));
+    }
+    if (!r.readU64(s.sparesLeft) ||
+        !r.readU64(s.lastCheckpointStep) ||
+        !r.readDouble(s.lastCheckpointSec) ||
+        !r.readU64(s.nodeEventCursor) ||
+        !r.readU64(s.eccEventCursor) || !readCounters(r, s.counters) ||
+        !r.readString(s.eventLog) || r.pos != body)
+        return false;
+    out = std::move(s);
+    return true;
+}
+
+void
+CheckpointStore::remove() const
+{
+    std::error_code ec;
+    std::filesystem::remove(path(), ec);
+}
+
+} // namespace resilience
+} // namespace ascend

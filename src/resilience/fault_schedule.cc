@@ -34,7 +34,7 @@ FaultSpec::empty() const
 {
     return coreTransientPerSec <= 0 && corePermanentPerSec <= 0 &&
            linkDegradePerSec <= 0 && linkDownPerSec <= 0 &&
-           stragglerFraction <= 0;
+           eccUncorrectablePerSec <= 0 && stragglerFraction <= 0;
 }
 
 namespace {
@@ -103,6 +103,8 @@ FaultSchedule::generate(const FaultSpec &spec)
         emitSeries(out, spec, FaultKind::LinkDown, l,
                    spec.linkDownPerSec, spec.linkOutageSec, 0.0);
     }
+    emitSeries(out, spec, FaultKind::EccUncorrectable, 0,
+               spec.eccUncorrectablePerSec, 0.0, 1.0);
 
     std::sort(out.begin(), out.end(),
               [](const FaultEvent &a, const FaultEvent &b) {
@@ -194,6 +196,7 @@ fingerprint(const FaultSpec &spec)
     putBits(s, spec.corePermanentPerSec);
     putBits(s, spec.linkDegradePerSec);
     putBits(s, spec.linkDownPerSec);
+    putBits(s, spec.eccUncorrectablePerSec);
     putBits(s, spec.coreRepairSec);
     putBits(s, spec.linkOutageSec);
     putBits(s, spec.linkDegradeSec);

@@ -77,6 +77,12 @@ struct FaultSpec
     double linkDownPerSec = 0;
     /// @}
 
+    /**
+     * Mean uncorrectable-ECC events per second for the whole system
+     * (not per target): each one costs a checkpoint rollback.
+     */
+    double eccUncorrectablePerSec = 0;
+
     /// @{ Event shapes.
     double coreRepairSec = 1e-3;    ///< transient-failure repair time
     double linkOutageSec = 5e-4;    ///< LinkDown outage window

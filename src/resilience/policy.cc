@@ -26,8 +26,15 @@ double
 retryDelaySeconds(const RetryPolicy &policy, unsigned attempt)
 {
     double delay = policy.backoffBaseSec;
+    // Backoff must shrink never: a multiplier below 1 would also make
+    // the loop below run `attempt` times (up to 2^32) to no effect.
+    const double mult = std::max(policy.backoffMultiplier, 1.0);
+    if (mult == 1.0 || delay <= 0)
+        return std::min(delay, policy.backoffCapSec);
     for (unsigned i = 0; i < attempt; ++i) {
-        delay *= policy.backoffMultiplier;
+        delay *= mult;
+        // Saturate *exactly* at the cap the moment we cross it, so
+        // huge attempt numbers can never overflow the double to inf.
         if (delay >= policy.backoffCapSec)
             return policy.backoffCapSec;
     }

@@ -87,6 +87,12 @@ struct ResilienceOptions
      * reproduces the fault-free result bit-for-bit.
      */
     double stragglerSlowdown = 1.0;
+    /**
+     * Free-form scenario tag (e.g. an elastic-run fingerprint).
+     * Mixed verbatim into cache keys so sessions simulating different
+     * elastic/chaos configurations never alias each other.
+     */
+    std::string scenario;
 };
 
 } // namespace resilience

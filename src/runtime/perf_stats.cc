@@ -66,6 +66,27 @@ atomicPipeTotals()
     return t;
 }
 
+/** Relaxed atomic mirror of ResilienceCounters. */
+struct AtomicResilienceCounters
+{
+    std::atomic<std::uint64_t> elasticRuns{0};
+    std::atomic<std::uint64_t> failovers{0};
+    std::atomic<std::uint64_t> shrinks{0};
+    std::atomic<std::uint64_t> rollbacks{0};
+    std::atomic<std::uint64_t> replayedSteps{0};
+    std::atomic<std::uint64_t> speculations{0};
+    std::atomic<std::uint64_t> sparesUsed{0};
+    std::atomic<std::uint64_t> spareExhausted{0};
+    std::atomic<std::uint64_t> checkpointsSaved{0};
+};
+
+AtomicResilienceCounters &
+atomicResilienceCounters()
+{
+    static AtomicResilienceCounters t;
+    return t;
+}
+
 } // anonymous namespace
 
 void
@@ -112,6 +133,55 @@ resetPipeTotals()
     t.totalCycles = 0;
     t.barriers = 0;
     t.results = 0;
+}
+
+void
+chargeResilience(const ResilienceCounters &delta)
+{
+    AtomicResilienceCounters &t = atomicResilienceCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    t.elasticRuns.fetch_add(delta.elasticRuns, relaxed);
+    t.failovers.fetch_add(delta.failovers, relaxed);
+    t.shrinks.fetch_add(delta.shrinks, relaxed);
+    t.rollbacks.fetch_add(delta.rollbacks, relaxed);
+    t.replayedSteps.fetch_add(delta.replayedSteps, relaxed);
+    t.speculations.fetch_add(delta.speculations, relaxed);
+    t.sparesUsed.fetch_add(delta.sparesUsed, relaxed);
+    t.spareExhausted.fetch_add(delta.spareExhausted, relaxed);
+    t.checkpointsSaved.fetch_add(delta.checkpointsSaved, relaxed);
+}
+
+ResilienceCounters
+resilienceTotals()
+{
+    const AtomicResilienceCounters &t = atomicResilienceCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    ResilienceCounters out;
+    out.elasticRuns = t.elasticRuns.load(relaxed);
+    out.failovers = t.failovers.load(relaxed);
+    out.shrinks = t.shrinks.load(relaxed);
+    out.rollbacks = t.rollbacks.load(relaxed);
+    out.replayedSteps = t.replayedSteps.load(relaxed);
+    out.speculations = t.speculations.load(relaxed);
+    out.sparesUsed = t.sparesUsed.load(relaxed);
+    out.spareExhausted = t.spareExhausted.load(relaxed);
+    out.checkpointsSaved = t.checkpointsSaved.load(relaxed);
+    return out;
+}
+
+void
+resetResilienceTotals()
+{
+    AtomicResilienceCounters &t = atomicResilienceCounters();
+    t.elasticRuns = 0;
+    t.failovers = 0;
+    t.shrinks = 0;
+    t.rollbacks = 0;
+    t.replayedSteps = 0;
+    t.speculations = 0;
+    t.sparesUsed = 0;
+    t.spareExhausted = 0;
+    t.checkpointsSaved = 0;
 }
 
 PerfScope &
@@ -177,6 +247,27 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
                      percent(totals.utilization(pipe)) + ")",
                  std::to_string(totals.waitCycles[p]) + " wait"});
         }
+    }
+    const ResilienceCounters res = resilienceTotals();
+    if (res.elasticRuns) {
+        rows.push_back({"elastic runs",
+                        std::to_string(res.elasticRuns), ""});
+        rows.push_back({"elastic failovers",
+                        std::to_string(res.failovers),
+                        std::to_string(res.sparesUsed) +
+                            " spares used"});
+        rows.push_back({"elastic shrinks",
+                        std::to_string(res.shrinks),
+                        std::to_string(res.spareExhausted) +
+                            " pool-exhausted"});
+        rows.push_back({"elastic rollbacks",
+                        std::to_string(res.rollbacks),
+                        std::to_string(res.replayedSteps) +
+                            " steps replayed"});
+        rows.push_back({"elastic speculations",
+                        std::to_string(res.speculations), ""});
+        rows.push_back({"elastic checkpoints",
+                        std::to_string(res.checkpointsSaved), ""});
     }
 
     std::size_t w0 = 0, w1 = 0;

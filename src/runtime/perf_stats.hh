@@ -147,6 +147,33 @@ PipeTotals pipeTotals();
 void resetPipeTotals();
 
 /**
+ * Process-wide resilience totals, accumulated from every elastic
+ * cluster run (cluster/elastic_run). Sim-time counters like
+ * PipeTotals: deterministic for a fixed workload at any thread count.
+ */
+struct ResilienceCounters
+{
+    std::uint64_t elasticRuns = 0; ///< runs charged
+    std::uint64_t failovers = 0;
+    std::uint64_t shrinks = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t replayedSteps = 0;
+    std::uint64_t speculations = 0;
+    std::uint64_t sparesUsed = 0;
+    std::uint64_t spareExhausted = 0;
+    std::uint64_t checkpointsSaved = 0;
+};
+
+/** Accumulate @p delta into the process-wide resilience totals. */
+void chargeResilience(const ResilienceCounters &delta);
+
+/** Point-in-time copy of the resilience totals. */
+ResilienceCounters resilienceTotals();
+
+/** Zero the resilience totals (tests isolate themselves with this). */
+void resetResilienceTotals();
+
+/**
  * The ASCEND_SIM_STATS=1 report: cache counters (including hit rate
  * and disk load/store counts), thread budget, per-scope timings, and
  * — when any simulation ran — per-pipe busy/wait cycle totals with

@@ -226,6 +226,8 @@ fingerprint(const resilience::ResilienceOptions &options)
     put(s, options.enabled);
     put(s, options.faultSeed);
     putDouble(s, options.stragglerSlowdown);
+    put(s, options.scenario.size());
+    s += options.scenario;
     return s;
 }
 

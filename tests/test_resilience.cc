@@ -152,6 +152,49 @@ TEST(Policy, BackoffGrowsAndSaturates)
     EXPECT_DOUBLE_EQ(resilience::retryDelaySeconds(p, 30), 5e-4);
 }
 
+TEST(Policy, BackoffIsMonotoneAndSaturatesExactly)
+{
+    RetryPolicy p;
+    p.backoffBaseSec = 1e-4;
+    p.backoffMultiplier = 3.0;
+    p.backoffCapSec = 0.25;
+
+    // Property: non-decreasing in attempt, never above the cap.
+    double prev = 0;
+    for (unsigned a = 0; a < 64; ++a) {
+        const double d = resilience::retryDelaySeconds(p, a);
+        EXPECT_GE(d, prev);
+        EXPECT_LE(d, p.backoffCapSec);
+        prev = d;
+    }
+
+    // Huge attempt numbers saturate *exactly* at the cap: the growth
+    // loop must stop at the crossing instead of multiplying 2^32
+    // times into inf.
+    for (unsigned a : {64u, 1u << 20, 0x80000000u, 0xffffffffu}) {
+        const double d = resilience::retryDelaySeconds(p, a);
+        EXPECT_FALSE(std::isinf(d));
+        EXPECT_EQ(d, p.backoffCapSec);
+    }
+
+    // A non-growing multiplier keeps the base delay, even at the
+    // largest attempt (no O(attempt) spin to no effect).
+    p.backoffMultiplier = 1.0;
+    EXPECT_EQ(resilience::retryDelaySeconds(p, 0xffffffffu), 1e-4);
+    p.backoffMultiplier = 0.5;
+    EXPECT_EQ(resilience::retryDelaySeconds(p, 0xffffffffu), 1e-4);
+
+    // A base above the cap clamps from attempt zero on.
+    p.backoffMultiplier = 2.0;
+    p.backoffBaseSec = 1.0;
+    p.backoffCapSec = 0.3;
+    EXPECT_EQ(resilience::retryDelaySeconds(p, 0), 0.3);
+
+    // A zero base stays zero forever.
+    p.backoffBaseSec = 0.0;
+    EXPECT_EQ(resilience::retryDelaySeconds(p, 1000), 0.0);
+}
+
 TEST(Policy, CheckpointRestartExactWithoutFaults)
 {
     CheckpointPolicy off;
@@ -509,6 +552,121 @@ TEST(ChipClusterRun, DeadChipFailsStopsAtStepZero)
     EXPECT_FALSE(r.run.completed);
     EXPECT_FALSE(r.chip.completed);
     EXPECT_EQ(r.run.stepsDone, 0u);
+}
+
+TEST(ChipClusterRun, CheckpointIntervalLongerThanRun)
+{
+    // An interval that outlives the whole run still charges its
+    // fractional save cost and bounds rework exactly as the closed
+    // form prescribes.
+    const auto work = sampleChipWork(8);
+    const double bw = 100e9;
+    const cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 51 * kMiB;
+    const RetryPolicy retry;
+
+    const cluster::ChipTrainingRunResult base =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            CheckpointPolicy(), 0.0);
+
+    CheckpointPolicy long_interval;
+    long_interval.enabled = true;
+    long_interval.intervalSec = 1e4; // >> the ~tens-of-ms run
+    long_interval.saveSec = 2.0;
+    long_interval.restartSec = 10.0;
+    const double rate = 1e-3;
+    const cluster::ChipTrainingRunResult r =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            long_interval, rate);
+    EXPECT_TRUE(r.run.completed);
+    EXPECT_EQ(r.run.seconds,
+              resilience::timeWithCheckpointRestart(
+                  base.run.seconds, rate, long_interval));
+    EXPECT_GT(r.run.seconds, base.run.seconds);
+}
+
+TEST(ChipClusterRun, ZeroCostCheckpointsChargeOnlyRework)
+{
+    const auto work = sampleChipWork(8);
+    const double bw = 100e9;
+    const cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 51 * kMiB;
+    const RetryPolicy retry;
+
+    const cluster::ChipTrainingRunResult base =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            CheckpointPolicy(), 0.0);
+
+    CheckpointPolicy free;
+    free.enabled = true;
+    free.intervalSec = 0.05;
+    free.saveSec = 0.0;
+    free.restartSec = 0.0;
+
+    // Zero-cost saves with no errors must not perturb the result.
+    const cluster::ChipTrainingRunResult clean =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            free, 0.0);
+    EXPECT_EQ(clean.run.seconds, base.run.seconds);
+
+    // With errors, the only charge left is the half-interval rework.
+    const double rate = 0.5;
+    const cluster::ChipTrainingRunResult faulty =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, bw, ChipFaultPlan{},
+            FaultSchedule(), retry, DegradedMode::ContinueDegraded,
+            free, rate);
+    EXPECT_EQ(faulty.run.seconds,
+              base.run.seconds + rate * base.run.seconds *
+                                     (0.5 * free.intervalSec));
+}
+
+TEST(ChipClusterRun, FailStopSkipsCheckpointCharges)
+{
+    // A run that fail-stops reports the time-to-failure only: the
+    // ECC/checkpoint model applies to completed work, so not even an
+    // enabled policy with a huge error rate may inflate it.
+    const auto work = sampleChipWork(8);
+    const cluster::ClusterConfig cl;
+    cluster::TrainingJob job;
+    job.gradientBytes = 256 * kMiB;
+    FaultSpec spec = linkFaultSpec(5.0);
+    spec.linkOutageSec = 100.0; // outlives every retry budget
+    const FaultSchedule faults = FaultSchedule::generate(spec);
+    RetryPolicy retry;
+    retry.maxRetries = 2;
+
+    CheckpointPolicy ckpt;
+    ckpt.enabled = true;
+    ckpt.intervalSec = 0.01;
+    ckpt.saveSec = 5.0;
+    ckpt.restartSec = 50.0;
+
+    const cluster::ChipTrainingRunResult stopped =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, 100e9, ChipFaultPlan{}, faults,
+            retry, DegradedMode::FailStop, ckpt, 10.0);
+    ASSERT_FALSE(stopped.run.completed);
+    EXPECT_LT(stopped.run.stepsDone, 10u);
+
+    // Bitwise identical to the same truncated run with the policy
+    // off: the final interval's charges never land.
+    const cluster::ChipTrainingRunResult plain =
+        cluster::trainingRunWithChipFaults(
+            job, cl, 64, 10, work, 100e9, ChipFaultPlan{}, faults,
+            retry, DegradedMode::FailStop, CheckpointPolicy(), 0.0);
+    EXPECT_EQ(stopped.run.seconds, plain.run.seconds);
+    EXPECT_EQ(stopped.run.stepsDone, plain.run.stepsDone);
 }
 
 TEST(DramEcc, ZeroRateBitwiseEqualsBase)

@@ -8,6 +8,7 @@
  */
 
 #include <atomic>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <numeric>
@@ -285,6 +286,85 @@ TEST(SimCachePersist, TruncatedAndCorruptFilesAreIgnored)
     // The untruncated file loads everything.
     runtime::SimCache full;
     EXPECT_EQ(full.loadFile(path), 8u);
+}
+
+TEST(SimCachePersist, OldFormatFileIsRejectedAndRebuilt)
+{
+    // A file with the right magic but format version 1 (a previous
+    // code generation) must be refused cleanly — and the same path
+    // must accept a fresh save afterwards (silent rebuild, no stale
+    // residue).
+    const std::string path = cacheFileFor("format_v1");
+    runtime::SimCache cache;
+    core::SimResult r;
+    r.totalCycles = 42;
+    cache.insert("key", r);
+    ASSERT_TRUE(cache.saveFile(path));
+
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        blob = os.str();
+    }
+    // Bytes [8, 16) hold the format version as a raw u64; rewrite it
+    // to 1 while leaving the magic and the body intact.
+    ASSERT_GE(blob.size(), 16u);
+    const std::uint64_t v1 = 1;
+    std::memcpy(&blob[8], &v1, sizeof(v1));
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(blob.data(), std::streamsize(blob.size()));
+    }
+
+    runtime::SimCache stale;
+    EXPECT_EQ(stale.loadFile(path), 0u);
+    EXPECT_EQ(stale.stats().entries, 0u);
+    EXPECT_EQ(stale.stats().diskLoads, 0u);
+
+    // The rebuild overwrites the stale file and round-trips again.
+    runtime::SimCache rebuilt;
+    rebuilt.insert("key", r);
+    ASSERT_TRUE(rebuilt.saveFile(path));
+    runtime::SimCache fresh;
+    EXPECT_EQ(fresh.loadFile(path), 1u);
+    core::SimResult out;
+    EXPECT_TRUE(fresh.lookup("key", out));
+    EXPECT_EQ(out.totalCycles, 42u);
+}
+
+TEST(SimCachePersist, TruncatedHeaderIsRejectedCleanly)
+{
+    // Cuts inside the v2 header (magic, format, pipe/bus counts,
+    // version string, entry count) must load nothing — every header
+    // field is validated before any entry is adopted.
+    const std::string path = cacheFileFor("header_cut");
+    runtime::SimCache cache;
+    core::SimResult r;
+    r.totalCycles = 7;
+    cache.insert("k", r);
+    ASSERT_TRUE(cache.saveFile(path));
+
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        blob = os.str();
+    }
+    for (std::size_t cut : {4u, 8u, 12u, 20u, 28u, 36u}) {
+        ASSERT_LT(cut, blob.size());
+        const std::string cut_path = cacheFileFor("header_cut_part");
+        {
+            std::ofstream out(cut_path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(blob.data(), std::streamsize(cut));
+        }
+        runtime::SimCache partial;
+        EXPECT_EQ(partial.loadFile(cut_path), 0u);
+        EXPECT_EQ(partial.stats().entries, 0u);
+    }
 }
 
 TEST(SimCachePersist, SaveCreatesParentDirectories)
