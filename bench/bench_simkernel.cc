@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "compiler/layer_compiler.hh"
+#include "des/kernel.hh"
 #include "core/core_sim.hh"
 #include "memory/llc.hh"
 #include "model/zoo.hh"
@@ -123,6 +126,74 @@ BM_ChipSimFluid(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64 * 32);
 }
 BENCHMARK(BM_ChipSimFluid);
+
+void
+BM_DesQueueThroughput(benchmark::State &state)
+{
+    // Raw event-queue rate: schedule a batch with interleaved times
+    // and priorities, then drain it through no-op handlers. Measures
+    // the canonical-key heap plus dispatch plumbing with zero client
+    // work — the floor every kernel client pays per event.
+    const std::size_t events = std::size_t(state.range(0));
+    for (auto _ : state) {
+        des::Kernel kernel;
+        for (std::size_t i = 0; i < events; ++i)
+            kernel.schedule(double((i * 7919) % events),
+                            std::int32_t(i % 4), "noop",
+                            [](des::Kernel &) {});
+        kernel.run();
+        benchmark::DoNotOptimize(kernel.stats().eventsDispatched);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_DesQueueThroughput)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_DesDispatchOverhead(benchmark::State &state)
+{
+    // Self-rescheduling chain of depth-1 events — the chip_sim /
+    // elastic_run usage shape (queue length ~1). Measures per-event
+    // dispatch overhead with a hot queue, i.e. the kernel tax the
+    // ported loops pay per iteration versus a hand-rolled while.
+    constexpr std::uint64_t kChain = 4096;
+    for (auto _ : state) {
+        des::Kernel kernel;
+        std::uint64_t left = kChain;
+        std::function<void(des::Kernel &)> next =
+            [&](des::Kernel &k) {
+                if (--left)
+                    k.schedule(k.now() + 1.0, 0, "chain", next);
+            };
+        kernel.schedule(0.0, 0, "chain", next);
+        kernel.run();
+        benchmark::DoNotOptimize(kernel.stats().eventsDispatched);
+    }
+    state.SetItemsProcessed(state.iterations() * kChain);
+}
+BENCHMARK(BM_DesDispatchOverhead);
+
+void
+BM_DesPhaseFanout(benchmark::State &state)
+{
+    // Deterministic parallel phase over a fixed-grain slicing of a
+    // touch-every-element body: the kernel-side cost of what used to
+    // be chip_sim's hand-rolled forSlices.
+    const std::size_t n = 1 << 16;
+    des::KernelOptions options;
+    options.parallelGrain = std::size_t(state.range(0));
+    des::Kernel kernel(options);
+    std::vector<double> cells(n, 1.0);
+    for (auto _ : state) {
+        kernel.phase("bench.touch", n,
+                     [&](std::size_t b, std::size_t e, std::size_t) {
+                         for (std::size_t i = b; i < e; ++i)
+                             cells[i] *= 1.0000001;
+                     });
+        benchmark::DoNotOptimize(cells[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DesPhaseFanout)->Arg(512)->Arg(1 << 16);
 
 void
 BM_MeshCycle(benchmark::State &state)

@@ -1,12 +1,31 @@
 /**
  * @file
- * The elastic cluster-run state machine.
+ * The elastic cluster-run state machine — a des::Kernel client.
  *
  * The engine is deliberately a pure function of (immutable inputs,
  * RunCheckpoint state): every mutation lives in the RunCheckpoint,
  * every cost is serial double arithmetic, and nothing reads the
  * wall clock or thread count — which is what makes kill-and-resume
  * byte-identical and lets bench_chaos enforce it with real SIGKILLs.
+ *
+ * Each training step is a short chain of kernel events at the same
+ * sim time, tie-broken by priority: a quiescent marker (0) whose hook
+ * takes the cadenced checkpoint, a node-failure poll (1), an ECC
+ * rollback poll (2), and the step itself (3). The poll events apply
+ * ONE due fault per dispatch and re-arm themselves: recovery costs
+ * advance the sim clock mid-batch, which can make further faults due,
+ * and one-at-a-time dispatch reproduces that cascade exactly. Faults
+ * are deliberately NOT scheduled at their strike times — the engine
+ * batches "every node failure due by now, then every rollback due by
+ * now" at each step boundary, and the event chain preserves that
+ * order. The kernel clock shadows s.simTimeSec via advanceTo().
+ *
+ * Checkpoints ride the kernel's quiescent points: the onQuiescent
+ * hook fires only between event dispatches, when no handler is
+ * mid-flight and the RunCheckpoint is self-consistent — the saved
+ * state is a fixed point of the chain, so a SIGKILL after any save
+ * resumes into a byte-identical continuation (bench_chaos enforces
+ * this with real kills at event boundaries).
  */
 
 #include "cluster/elastic_run.hh"
@@ -16,9 +35,11 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "des/kernel.hh"
 #include "obs/tracer.hh"
 #include "runtime/perf_stats.hh"
 
@@ -154,8 +175,11 @@ ElasticRunResult::report() const
 namespace {
 
 /**
- * All loop state and helpers of one elastic run. Mutations touch only
- * `s` (the checkpointable state) plus the this-process halt counter.
+ * All state and handlers of one elastic run, driven as a des::Kernel
+ * event chain (see the file comment for the chain layout). Mutations
+ * touch only `s` (the checkpointable state) plus the this-process
+ * halt counter; terminal handlers record the run's outcome in
+ * `final_` instead of re-arming the chain.
  */
 struct Engine
 {
@@ -179,6 +203,7 @@ struct Engine
     std::uint64_t eventIndex = 0; ///< lines in s.eventLog
     unsigned eventsSeen = 0;      ///< this process only (halt hook)
     bool haltRequested = false;
+    std::optional<ElasticRunResult> final_; ///< terminal outcome
 
     void
     setUp()
@@ -268,107 +293,118 @@ struct Engine
         return buf;
     }
 
-    /** Apply node-permanent failures that struck before now. */
-    void
-    applyNodeFailures()
+    /** True while another node failure is due at the current time. */
+    bool
+    nodeFailureDue() const
     {
-        while (!haltRequested && s.nodeEventCursor < nodeFail.size() &&
-               nodeFail[s.nodeEventCursor].timeSec <= s.simTimeSec) {
-            const FaultEvent e = nodeFail[s.nodeEventCursor++];
-            unsigned slot = kDeadSlot;
-            for (unsigned i = 0; i < unsigned(s.activeNodes.size());
-                 ++i)
-                if (s.activeNodes[i] == e.target) {
-                    slot = i;
-                    break;
-                }
-            if (slot == kDeadSlot)
-                continue; // machine already dead or replaced
-            const double t0 = s.simTimeSec;
-            if (s.sparesLeft > 0) {
-                const unsigned spare =
-                    spareBase +
-                    unsigned(options.spareNodes - s.sparesLeft);
-                --s.sparesLeft;
-                s.activeNodes[slot] = spare;
-                // Ship the shard's state to the warm spare over its
-                // fat-tree uplink, then re-setup.
-                double cost = options.failoverRestartSec;
-                if (options.stateBytes)
-                    cost += double(options.stateBytes) /
-                                cluster.netBytesPerSec +
-                            cluster.netLatencySec;
-                const std::string line =
-                    eventPrefix() + "failover slot " +
-                    std::to_string(slot) + " phys " +
-                    std::to_string(e.target) + " -> spare " +
-                    std::to_string(spare) + " cost " +
-                    formatSeconds(cost);
-                s.simTimeSec += cost;
-                ++s.counters.failovers;
-                ++s.counters.sparesUsed;
-                traceRecovery("elastic.failover", t0, s.simTimeSec,
-                              options.stateBytes);
-                appendEvent(line);
-            } else {
-                s.activeNodes[slot] = kDeadSlot;
-                ++s.counters.shrinks;
-                ++s.counters.spareExhausted;
-                const unsigned survivors = aliveNodes();
-                if (survivors == 0) {
-                    const std::string line =
-                        eventPrefix() + "world died at slot " +
-                        std::to_string(slot);
-                    appendEvent(line);
-                    return;
-                }
-                // Survivors exchange the dead shard: one allreduce of
-                // the state over the remaining uplinks, then re-setup
-                // with the re-derived (smaller) collective schedule.
-                const double cost =
-                    options.reshardRestartSec +
-                    ringAllreduceSeconds(options.stateBytes, survivors,
-                                         cluster.netBytesPerSec,
-                                         cluster.netLatencySec);
-                const std::string line =
-                    eventPrefix() + "shrink slot " +
-                    std::to_string(slot) + " phys " +
-                    std::to_string(e.target) + " -> " +
-                    std::to_string(survivors) + " nodes cost " +
-                    formatSeconds(cost);
-                s.simTimeSec += cost;
-                traceRecovery("elastic.reshard", t0, s.simTimeSec,
-                              options.stateBytes);
-                appendEvent(line);
-            }
-        }
+        return s.nodeEventCursor < nodeFail.size() &&
+               nodeFail[s.nodeEventCursor].timeSec <= s.simTimeSec;
     }
 
-    /** Roll back through uncorrectable errors that struck by now. */
-    void
-    applyRollbacks()
+    /**
+     * Apply the single next due node-permanent failure (one poll
+     * dispatch's worth). @return true when the whole world died.
+     */
+    bool
+    applyOneNodeFailure()
     {
-        while (!haltRequested && s.eccEventCursor < ecc.size() &&
-               ecc[s.eccEventCursor].timeSec <= s.simTimeSec) {
-            ++s.eccEventCursor;
-            const double t0 = s.simTimeSec;
-            const std::uint64_t lost =
-                s.nextStep - s.lastCheckpointStep;
+        const FaultEvent e = nodeFail[s.nodeEventCursor++];
+        unsigned slot = kDeadSlot;
+        for (unsigned i = 0; i < unsigned(s.activeNodes.size()); ++i)
+            if (s.activeNodes[i] == e.target) {
+                slot = i;
+                break;
+            }
+        if (slot == kDeadSlot)
+            return false; // machine already dead or replaced
+        const double t0 = s.simTimeSec;
+        if (s.sparesLeft > 0) {
+            const unsigned spare =
+                spareBase +
+                unsigned(options.spareNodes - s.sparesLeft);
+            --s.sparesLeft;
+            s.activeNodes[slot] = spare;
+            // Ship the shard's state to the warm spare over its
+            // fat-tree uplink, then re-setup.
+            double cost = options.failoverRestartSec;
+            if (options.stateBytes)
+                cost += double(options.stateBytes) /
+                            cluster.netBytesPerSec +
+                        cluster.netLatencySec;
             const std::string line =
-                eventPrefix() + "rollback to step " +
-                std::to_string(
-                    static_cast<unsigned long long>(
-                        s.lastCheckpointStep)) +
-                " replay " +
-                std::to_string(static_cast<unsigned long long>(lost)) +
-                " steps";
-            s.nextStep = s.lastCheckpointStep;
-            s.simTimeSec += options.checkpoint.restartSec;
-            ++s.counters.rollbacks;
-            s.counters.replayedSteps += lost;
-            traceRecovery("elastic.rollback", t0, s.simTimeSec, 0);
+                eventPrefix() + "failover slot " +
+                std::to_string(slot) + " phys " +
+                std::to_string(e.target) + " -> spare " +
+                std::to_string(spare) + " cost " +
+                formatSeconds(cost);
+            s.simTimeSec += cost;
+            ++s.counters.failovers;
+            ++s.counters.sparesUsed;
+            traceRecovery("elastic.failover", t0, s.simTimeSec,
+                          options.stateBytes);
+            appendEvent(line);
+        } else {
+            s.activeNodes[slot] = kDeadSlot;
+            ++s.counters.shrinks;
+            ++s.counters.spareExhausted;
+            const unsigned survivors = aliveNodes();
+            if (survivors == 0) {
+                const std::string line =
+                    eventPrefix() + "world died at slot " +
+                    std::to_string(slot);
+                appendEvent(line);
+                return true;
+            }
+            // Survivors exchange the dead shard: one allreduce of
+            // the state over the remaining uplinks, then re-setup
+            // with the re-derived (smaller) collective schedule.
+            const double cost =
+                options.reshardRestartSec +
+                ringAllreduceSeconds(options.stateBytes, survivors,
+                                     cluster.netBytesPerSec,
+                                     cluster.netLatencySec);
+            const std::string line =
+                eventPrefix() + "shrink slot " +
+                std::to_string(slot) + " phys " +
+                std::to_string(e.target) + " -> " +
+                std::to_string(survivors) + " nodes cost " +
+                formatSeconds(cost);
+            s.simTimeSec += cost;
+            traceRecovery("elastic.reshard", t0, s.simTimeSec,
+                          options.stateBytes);
             appendEvent(line);
         }
+        return false;
+    }
+
+    /** True while another ECC rollback is due at the current time. */
+    bool
+    rollbackDue() const
+    {
+        return s.eccEventCursor < ecc.size() &&
+               ecc[s.eccEventCursor].timeSec <= s.simTimeSec;
+    }
+
+    /** Roll back through the single next due uncorrectable error. */
+    void
+    applyOneRollback()
+    {
+        ++s.eccEventCursor;
+        const double t0 = s.simTimeSec;
+        const std::uint64_t lost = s.nextStep - s.lastCheckpointStep;
+        const std::string line =
+            eventPrefix() + "rollback to step " +
+            std::to_string(static_cast<unsigned long long>(
+                s.lastCheckpointStep)) +
+            " replay " +
+            std::to_string(static_cast<unsigned long long>(lost)) +
+            " steps";
+        s.nextStep = s.lastCheckpointStep;
+        s.simTimeSec += options.checkpoint.restartSec;
+        ++s.counters.rollbacks;
+        s.counters.replayedSteps += lost;
+        traceRecovery("elastic.rollback", t0, s.simTimeSec, 0);
+        appendEvent(line);
     }
 
     /** Take a (logical + on-disk) checkpoint when the cadence is due. */
@@ -434,83 +470,155 @@ struct Engine
         return r;
     }
 
+    /**
+     * Arm one step's event chain at the current sim time. The
+     * quiescent marker dispatches first (priority 0): the kernel's
+     * quiescent hook checkpoints there, so the saved state is a
+     * fixed point of the chain head. A resumed run re-enters here
+     * with the cadence trivially not-due (the save itself reset it),
+     * so it replays exactly the events the uninterrupted run
+     * dispatched after the save — including failures and rollbacks
+     * that became due during the saveSec window.
+     */
+    void
+    armStep(des::Kernel &k)
+    {
+        k.scheduleQuiescent(k.now(), 0);
+        k.schedule(k.now(), 1, "elastic.poll-failures",
+                   [this](des::Kernel &kk) { pollFailures(kk); });
+    }
+
+    /**
+     * Node-failure poll event: apply ONE due failure, re-arm while
+     * more are due (recovery costs advance the clock, which can make
+     * more due), then hand over to the rollback poll.
+     */
+    void
+    pollFailures(des::Kernel &k)
+    {
+        if (!haltRequested && nodeFailureDue()) {
+            const bool world_died = applyOneNodeFailure();
+            k.advanceTo(s.simTimeSec);
+            if (!world_died) {
+                k.schedule(k.now(), 1, "elastic.poll-failures",
+                           [this](des::Kernel &kk) {
+                               pollFailures(kk);
+                           });
+                return;
+            }
+        }
+        if (haltRequested) {
+            final_ = result(false);
+            return;
+        }
+        if (aliveNodes() == 0) {
+            final_ = finish(result(false));
+            return;
+        }
+        k.schedule(k.now(), 2, "elastic.poll-rollbacks",
+                   [this](des::Kernel &kk) { pollRollbacks(kk); });
+    }
+
+    /** ECC rollback poll event: one rollback per dispatch, then step. */
+    void
+    pollRollbacks(des::Kernel &k)
+    {
+        if (!haltRequested && rollbackDue()) {
+            applyOneRollback();
+            k.advanceTo(s.simTimeSec);
+            k.schedule(k.now(), 2, "elastic.poll-rollbacks",
+                       [this](des::Kernel &kk) { pollRollbacks(kk); });
+            return;
+        }
+        if (haltRequested) {
+            final_ = result(false);
+            return;
+        }
+        k.schedule(k.now(), 3, "elastic.step",
+                   [this](des::Kernel &kk) { stepOnce(kk); });
+    }
+
+    /** The training-step event: run one step, commit, re-arm. */
+    void
+    stepOnce(des::Kernel &k)
+    {
+        const unsigned chips_now = aliveChips();
+        // Re-shard: the same global batch over fewer chips means
+        // proportionally more compute per chip. Guarded so the
+        // full-world path runs the exact fault-free arithmetic.
+        TrainingJob cur = job;
+        if (chips_now != chips)
+            cur.stepSecondsPerChip =
+                job.stepSecondsPerChip *
+                (double(chips) / double(chips_now));
+        const FaultyCollectiveResult step = stepSecondsWithFaults(
+            cur, cluster, chips_now, faults, retry, mode,
+            s.simTimeSec);
+        s.counters.retries += step.retries;
+        s.counters.degradedSteps += step.degradedSteps;
+        if (!step.completed) {
+            s.simTimeSec += step.seconds; // time-to-failure
+            k.advanceTo(s.simTimeSec);
+            final_ = finish(result(false));
+            return;
+        }
+        double step_sec = step.seconds;
+        const double factor = stragglerFactor();
+        if (factor > 1.0) {
+            // The straggler stretches the compute phase; the
+            // speculative copy re-dispatches that work elsewhere
+            // at one retry's cost and the cheaper twin commits.
+            const double slow =
+                step_sec + cur.stepSecondsPerChip * (factor - 1.0);
+            double chosen = slow;
+            if (options.speculation) {
+                const double spec =
+                    step_sec + retry.timeoutSec +
+                    resilience::retryDelaySeconds(retry, 0);
+                if (spec < slow) {
+                    chosen = spec;
+                    ++s.counters.speculations;
+                    traceRecovery("elastic.speculate", s.simTimeSec,
+                                  s.simTimeSec + chosen, 0);
+                    appendEvent(
+                        eventPrefix() + "speculate step " +
+                        std::to_string(
+                            static_cast<unsigned long long>(
+                                s.nextStep)) +
+                        " saved " + formatSeconds(slow - spec));
+                }
+            }
+            step_sec = chosen;
+            if (haltRequested) {
+                final_ = result(false); // step not committed
+                return;
+            }
+        }
+        s.simTimeSec += step_sec;
+        ++s.nextStep;
+        k.advanceTo(s.simTimeSec);
+        if (s.nextStep < num_steps)
+            armStep(k);
+    }
+
     ElasticRunResult
     run()
     {
         setUp();
-        while (s.nextStep < num_steps) {
-            // Checkpoint first: the saved state is then a fixed
-            // point of the loop top. A resumed run re-enters here
-            // with the cadence trivially not-due (the save itself
-            // reset it), so it replays exactly the phases the
-            // uninterrupted run executed after the save — including
-            // failures and rollbacks that became due during the
-            // saveSec window.
+        des::Kernel kernel;
+        // Checkpoints ride the kernel's quiescent points: no event
+        // is mid-dispatch there, so the RunCheckpoint is consistent
+        // by construction.
+        kernel.onQuiescent([this](des::Kernel &k) {
             maybeCheckpoint();
-            if (haltRequested)
-                return result(false);
-            applyNodeFailures();
-            if (haltRequested)
-                return result(false);
-            if (aliveNodes() == 0)
-                return finish(result(false));
-            applyRollbacks();
-            if (haltRequested)
-                return result(false);
-
-            const unsigned chips_now = aliveChips();
-            // Re-shard: the same global batch over fewer chips means
-            // proportionally more compute per chip. Guarded so the
-            // full-world path runs the exact fault-free arithmetic.
-            TrainingJob cur = job;
-            if (chips_now != chips)
-                cur.stepSecondsPerChip = job.stepSecondsPerChip *
-                                         (double(chips) /
-                                          double(chips_now));
-            const FaultyCollectiveResult step = stepSecondsWithFaults(
-                cur, cluster, chips_now, faults, retry, mode,
-                s.simTimeSec);
-            s.counters.retries += step.retries;
-            s.counters.degradedSteps += step.degradedSteps;
-            if (!step.completed) {
-                s.simTimeSec += step.seconds; // time-to-failure
-                return finish(result(false));
-            }
-            double step_sec = step.seconds;
-            const double factor = stragglerFactor();
-            if (factor > 1.0) {
-                // The straggler stretches the compute phase; the
-                // speculative copy re-dispatches that work elsewhere
-                // at one retry's cost and the cheaper twin commits.
-                const double slow =
-                    step_sec +
-                    cur.stepSecondsPerChip * (factor - 1.0);
-                double chosen = slow;
-                if (options.speculation) {
-                    const double spec =
-                        step_sec + retry.timeoutSec +
-                        resilience::retryDelaySeconds(retry, 0);
-                    if (spec < slow) {
-                        chosen = spec;
-                        ++s.counters.speculations;
-                        traceRecovery("elastic.speculate",
-                                      s.simTimeSec,
-                                      s.simTimeSec + chosen, 0);
-                        appendEvent(
-                            eventPrefix() + "speculate step " +
-                            std::to_string(
-                                static_cast<unsigned long long>(
-                                    s.nextStep)) +
-                            " saved " + formatSeconds(slow - spec));
-                    }
-                }
-                step_sec = chosen;
-                if (haltRequested)
-                    return result(false); // step not committed
-            }
-            s.simTimeSec += step_sec;
-            ++s.nextStep;
-        }
+            k.advanceTo(s.simTimeSec);
+        });
+        kernel.advanceTo(s.simTimeSec); // resumes re-enter mid-run
+        if (s.nextStep < num_steps)
+            armStep(kernel);
+        kernel.run();
+        if (final_)
+            return *final_;
         return finish(result(true));
     }
 

@@ -23,7 +23,14 @@
  *    speculatively re-dispatched at RetryPolicy cost and the step
  *    takes the cheaper of the two outcomes.
  *
- * Checkpoints are real resilience::CheckpointStore artifacts: the
+ * The engine runs on the des::Kernel: every training step is a short
+ * chain of kernel events (checkpoint quiescent marker, node-failure
+ * poll, ECC rollback poll, the step itself) tie-broken by priority
+ * at the same sim time, so recovery ordering is the kernel's
+ * canonical dispatch order rather than ad-hoc loop structure.
+ *
+ * Checkpoints are real resilience::CheckpointStore artifacts taken
+ * only at kernel quiescent points (no handler mid-flight): the
  * engine is a pure function of the RunCheckpoint state, so a run
  * killed at any instant and re-invoked with the same arguments
  * resumes from the last on-disk checkpoint and finishes with a

@@ -22,6 +22,7 @@ toString(ErrorCode code)
       case ErrorCode::ParallelFailure:  return "parallel-failure";
       case ErrorCode::FaultInjected:    return "fault-injected";
       case ErrorCode::GuardExceeded:    return "guard-exceeded";
+      case ErrorCode::KernelMisuse:     return "kernel-misuse";
     }
     return "unknown";
 }

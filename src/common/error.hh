@@ -34,6 +34,7 @@ enum class ErrorCode {
     ParallelFailure,  ///< multiple tasks of one parallel loop threw
     FaultInjected,    ///< a simulated fault escalated to fail-stop
     GuardExceeded,    ///< a simulation event-count guard tripped
+    KernelMisuse,     ///< des::Kernel API contract violated
 };
 
 /** Stable lower-case name of @p code (used in what() prefixes). */

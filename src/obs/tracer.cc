@@ -105,6 +105,7 @@ processName(std::uint32_t pid)
       case Domain::Llc:     return "llc (ticks)";
       case Domain::Noc:     return "noc mesh (cycles)";
       case Domain::Cluster: return "cluster collectives (ns)";
+      case Domain::Kernel:  return "des kernel (ns)";
     }
     return "?";
 }
@@ -122,6 +123,7 @@ trackName(std::uint32_t pid, std::uint32_t tid)
       case Domain::Noc:     return "mesh";
       case Domain::Cluster:
         return tid == 2 ? "elastic recovery" : "phases";
+      case Domain::Kernel:  return "phases";
     }
     return "?";
 }

@@ -65,6 +65,7 @@ enum class Domain : std::uint32_t {
     Llc = 3,     ///< LLC model; timestamps in access ticks
     Noc = 4,     ///< mesh NoC; timestamps in NoC cycles
     Cluster = 5, ///< collective phases; timestamps in nanoseconds
+    Kernel = 6,  ///< des kernel phases; timestamps in nanoseconds
 };
 
 /** One completed interval on a (domain, track) timeline. */

@@ -28,8 +28,14 @@ struct Registry
 Registry &
 registry()
 {
-    static Registry r;
-    return r;
+    // Leaked on purpose: the ASCEND_SIM_STATS report runs from a
+    // std::atexit handler, and atexit handlers and static destructors
+    // unwind through one LIFO. If the first perfScope() call lands
+    // after that handler registers (e.g. inside a bench body), a
+    // function-local static Registry would be destroyed before the
+    // handler snapshots it.
+    static Registry *r = new Registry;
+    return *r;
 }
 
 std::string
@@ -84,6 +90,24 @@ AtomicResilienceCounters &
 atomicResilienceCounters()
 {
     static AtomicResilienceCounters t;
+    return t;
+}
+
+/** Relaxed atomic mirror of KernelCounters. */
+struct AtomicKernelCounters
+{
+    std::atomic<std::uint64_t> kernels{0};
+    std::atomic<std::uint64_t> eventsScheduled{0};
+    std::atomic<std::uint64_t> eventsDispatched{0};
+    std::atomic<std::uint64_t> phasesRun{0};
+    std::atomic<std::uint64_t> quiescentPoints{0};
+    std::atomic<std::uint64_t> queueHighWater{0};
+};
+
+AtomicKernelCounters &
+atomicKernelCounters()
+{
+    static AtomicKernelCounters t;
     return t;
 }
 
@@ -184,6 +208,52 @@ resetResilienceTotals()
     t.checkpointsSaved = 0;
 }
 
+void
+chargeKernel(const KernelCounters &delta)
+{
+    AtomicKernelCounters &t = atomicKernelCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    t.kernels.fetch_add(delta.kernels, relaxed);
+    t.eventsScheduled.fetch_add(delta.eventsScheduled, relaxed);
+    t.eventsDispatched.fetch_add(delta.eventsDispatched, relaxed);
+    t.phasesRun.fetch_add(delta.phasesRun, relaxed);
+    t.quiescentPoints.fetch_add(delta.quiescentPoints, relaxed);
+    // High-water is a max, not a sum: keep the deepest queue any one
+    // kernel ever reached.
+    std::uint64_t seen = t.queueHighWater.load(relaxed);
+    while (seen < delta.queueHighWater &&
+           !t.queueHighWater.compare_exchange_weak(
+               seen, delta.queueHighWater, relaxed, relaxed)) {
+    }
+}
+
+KernelCounters
+kernelTotals()
+{
+    const AtomicKernelCounters &t = atomicKernelCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    KernelCounters out;
+    out.kernels = t.kernels.load(relaxed);
+    out.eventsScheduled = t.eventsScheduled.load(relaxed);
+    out.eventsDispatched = t.eventsDispatched.load(relaxed);
+    out.phasesRun = t.phasesRun.load(relaxed);
+    out.quiescentPoints = t.quiescentPoints.load(relaxed);
+    out.queueHighWater = t.queueHighWater.load(relaxed);
+    return out;
+}
+
+void
+resetKernelTotals()
+{
+    AtomicKernelCounters &t = atomicKernelCounters();
+    t.kernels = 0;
+    t.eventsScheduled = 0;
+    t.eventsDispatched = 0;
+    t.phasesRun = 0;
+    t.quiescentPoints = 0;
+    t.queueHighWater = 0;
+}
+
 PerfScope &
 perfScope(const std::string &name)
 {
@@ -247,6 +317,22 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
                      percent(totals.utilization(pipe)) + ")",
                  std::to_string(totals.waitCycles[p]) + " wait"});
         }
+    }
+    const KernelCounters kern = kernelTotals();
+    if (kern.kernels) {
+        rows.push_back(
+            {"des kernels", std::to_string(kern.kernels), ""});
+        rows.push_back({"des events",
+                        std::to_string(kern.eventsDispatched) +
+                            " dispatched",
+                        std::to_string(kern.eventsScheduled) +
+                            " scheduled"});
+        rows.push_back({"des phases",
+                        std::to_string(kern.phasesRun),
+                        std::to_string(kern.quiescentPoints) +
+                            " quiescent points"});
+        rows.push_back({"des queue high-water",
+                        std::to_string(kern.queueHighWater), ""});
     }
     const ResilienceCounters res = resilienceTotals();
     if (res.elasticRuns) {

@@ -174,6 +174,31 @@ ResilienceCounters resilienceTotals();
 void resetResilienceTotals();
 
 /**
+ * Process-wide discrete-event-kernel totals, accumulated as each
+ * des::Kernel retires. Sim-structure counters like PipeTotals: for a
+ * fixed workload they are deterministic at any thread count.
+ */
+struct KernelCounters
+{
+    std::uint64_t kernels = 0; ///< kernel instances retired
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t eventsDispatched = 0;
+    std::uint64_t phasesRun = 0;
+    std::uint64_t quiescentPoints = 0;
+    /** Max pending events any one kernel observed (max-merged). */
+    std::uint64_t queueHighWater = 0;
+};
+
+/** Accumulate @p delta into the process-wide kernel totals. */
+void chargeKernel(const KernelCounters &delta);
+
+/** Point-in-time copy of the kernel totals. */
+KernelCounters kernelTotals();
+
+/** Zero the kernel totals (tests isolate themselves with this). */
+void resetKernelTotals();
+
+/**
  * The ASCEND_SIM_STATS=1 report: cache counters (including hit rate
  * and disk load/store counts), thread budget, per-scope timings, and
  * — when any simulation ran — per-pipe busy/wait cycle totals with

@@ -1,15 +1,23 @@
 /**
  * @file
- * Fluid chip simulation implementation.
+ * Fluid chip simulation implementation — a des::Kernel client.
+ *
+ * Each rate re-solve of the fluid model is one kernel event: the
+ * handler counts memory-active tasks, solves the time to the next
+ * completion, advances the kernel clock by that dt, advances per-core
+ * state, and re-arms itself while work remains. The parallel pieces
+ * run as kernel *phases* (fixed-grain slices over
+ * runtime::parallelFor); the kernel grain is ASCEND_CHIPSIM_GRAIN.
  *
  * Determinism notes (the sweep benches diff output across thread
- * counts): every parallel phase below either reduces with exact
+ * counts): every kernel phase below either reduces with exact
  * operations (min over doubles, integer counts) over slices whose
  * boundaries are thread-count independent, or writes core-local state
  * that a serial core-index-ordered pass then folds into the shared
  * accumulators. The arithmetic sequence is identical to a fully
- * serial run, so output is byte-identical at any ASCEND_THREADS and
- * any ASCEND_CHIPSIM_GRAIN.
+ * serial run — and to the pre-kernel hand-rolled loop, which the
+ * checked-in tests/golden/ outputs pin — so output is byte-identical
+ * at any ASCEND_THREADS and any ASCEND_CHIPSIM_GRAIN.
  */
 
 #include "soc/chip_sim.hh"
@@ -18,14 +26,15 @@
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <functional>
 #include <limits>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "des/kernel.hh"
 #include "obs/tracer.hh"
 #include "runtime/perf_stats.hh"
 #include "runtime/sim_session.hh"
-#include "runtime/thread_pool.hh"
 
 namespace ascend {
 namespace soc {
@@ -38,29 +47,6 @@ sliceCount(std::size_t n, std::size_t grain)
 {
     grain = std::max<std::size_t>(grain, 1);
     return (n + grain - 1) / grain;
-}
-
-/**
- * Invoke fn(begin, end, slice) over fixed-@p grain slices of [0, n).
- * Boundaries depend only on n and grain — never on the thread count —
- * so slice-local partial results combine identically however slices
- * are scheduled. Fewer than two slices run inline (a fan-out would
- * cost more than the loop body at SoC core counts).
- */
-template <typename Fn>
-void
-forSlices(std::size_t n, std::size_t grain, const Fn &fn)
-{
-    grain = std::max<std::size_t>(grain, 1);
-    const std::size_t slices = (n + grain - 1) / grain;
-    if (slices < 2) {
-        if (n)
-            fn(std::size_t(0), n, std::size_t(0));
-        return;
-    }
-    runtime::parallelFor(slices, [&](std::size_t s) {
-        fn(s * grain, std::min(n, (s + 1) * grain), s);
-    });
 }
 
 [[noreturn]] void
@@ -92,6 +78,15 @@ std::uint64_t
 traceNs(double seconds)
 {
     return std::uint64_t(std::llround(seconds * 1e9));
+}
+
+/** One chip-sim kernel sized by the chip options. */
+des::KernelOptions
+kernelOptions(const ChipSimOptions &options)
+{
+    des::KernelOptions kopt;
+    kopt.parallelGrain = options.parallelGrain;
+    return kopt;
 }
 
 } // anonymous namespace
@@ -176,21 +171,26 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
     std::vector<unsigned> slice_mem(sliceCount(cores, grain));
     std::vector<double> slice_dt(slice_mem.size());
 
+    des::Kernel kernel(kernelOptions(options));
     int guard = 0;
-    while (!active.empty()) {
+
+    // One rate re-solve per kernel event; the handler re-arms itself
+    // while any core is still active.
+    std::function<void(des::Kernel &)> resolve;
+    resolve = [&](des::Kernel &k) {
         const std::size_t n = active.size();
         const std::size_t slices = sliceCount(n, grain);
 
         // Rate re-solve point 1/2: count memory-active tasks for the
         // max-min share (exact integer reduction).
-        forSlices(n, grain,
-                  [&](std::size_t b, std::size_t e, std::size_t s) {
-                      unsigned mem = 0;
-                      for (std::size_t i = b; i < e; ++i)
-                          if (state[active[i]].bytesLeft > 0)
-                              ++mem;
-                      slice_mem[s] = mem;
-                  });
+        k.phase("chip.mem-count", n,
+                [&](std::size_t b, std::size_t e, std::size_t s) {
+                    unsigned mem = 0;
+                    for (std::size_t i = b; i < e; ++i)
+                        if (state[active[i]].bytesLeft > 0)
+                            ++mem;
+                    slice_mem[s] = mem;
+                });
         unsigned mem_active = 0;
         for (std::size_t s = 0; s < slices; ++s)
             mem_active += slice_mem[s];
@@ -199,24 +199,24 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
 
         // Rate re-solve point 2/2: time to the next completion event
         // (exact min reduction).
-        forSlices(n, grain,
-                  [&](std::size_t b, std::size_t e, std::size_t s) {
-                      double best =
-                          std::numeric_limits<double>::infinity();
-                      for (std::size_t i = b; i < e; ++i) {
-                          const CoreState &cs = state[active[i]];
-                          double task_dt = 0;
-                          if (cs.bytesLeft > 0 && cs.computeLeft > 0)
-                              task_dt = std::min(cs.computeLeft,
-                                                 cs.bytesLeft / rate);
-                          else if (cs.bytesLeft > 0)
-                              task_dt = cs.bytesLeft / rate;
-                          else
-                              task_dt = cs.computeLeft;
-                          best = std::min(best, task_dt);
-                      }
-                      slice_dt[s] = best;
-                  });
+        k.phase("chip.next-event", n,
+                [&](std::size_t b, std::size_t e, std::size_t s) {
+                    double best =
+                        std::numeric_limits<double>::infinity();
+                    for (std::size_t i = b; i < e; ++i) {
+                        const CoreState &cs = state[active[i]];
+                        double task_dt = 0;
+                        if (cs.bytesLeft > 0 && cs.computeLeft > 0)
+                            task_dt = std::min(cs.computeLeft,
+                                               cs.bytesLeft / rate);
+                        else if (cs.bytesLeft > 0)
+                            task_dt = cs.bytesLeft / rate;
+                        else
+                            task_dt = cs.computeLeft;
+                        best = std::min(best, task_dt);
+                    }
+                    slice_dt[s] = best;
+                });
         double dt = std::numeric_limits<double>::infinity();
         for (std::size_t s = 0; s < slices; ++s)
             dt = std::min(dt, slice_dt[s]);
@@ -225,39 +225,40 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
         dt = std::max(dt, 1e-15); // numerical floor
 
         now += dt;
+        k.advanceTo(now);
         // Independent cores advance concurrently between re-solve
         // points; all writes are core-local (load_next only reads the
         // core's own queue).
-        forSlices(n, grain,
-                  [&](std::size_t b, std::size_t e, std::size_t) {
-                      for (std::size_t i = b; i < e; ++i) {
-                          const std::size_t c = active[i];
-                          CoreState &cs = state[c];
-                          cs.moved = 0;
-                          if (cs.computeLeft > 0)
-                              cs.computeLeft =
-                                  std::max(0.0, cs.computeLeft - dt);
-                          if (cs.bytesLeft > 0) {
-                              const double moved =
-                                  std::min(cs.bytesLeft, rate * dt);
-                              cs.bytesLeft -= moved;
-                              cs.moved = moved;
-                          }
-                          if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
-                              if (tracer) {
-                                  const std::uint64_t t0 =
-                                      traceNs(cs.taskStart);
-                                  tracer->span(
-                                      obs::Domain::Chip,
-                                      std::uint32_t(c) + 1, "task",
-                                      t0, traceNs(now) - t0,
-                                      per_core[c][cs.next].memBytes);
-                              }
-                              ++cs.next;
-                              load_next(c, now);
-                          }
-                      }
-                  });
+        k.phase("chip.advance", n,
+                [&](std::size_t b, std::size_t e, std::size_t) {
+                    for (std::size_t i = b; i < e; ++i) {
+                        const std::size_t c = active[i];
+                        CoreState &cs = state[c];
+                        cs.moved = 0;
+                        if (cs.computeLeft > 0)
+                            cs.computeLeft =
+                                std::max(0.0, cs.computeLeft - dt);
+                        if (cs.bytesLeft > 0) {
+                            const double moved =
+                                std::min(cs.bytesLeft, rate * dt);
+                            cs.bytesLeft -= moved;
+                            cs.moved = moved;
+                        }
+                        if (cs.computeLeft <= 0 && cs.bytesLeft <= 0) {
+                            if (tracer) {
+                                const std::uint64_t t0 =
+                                    traceNs(cs.taskStart);
+                                tracer->span(
+                                    obs::Domain::Chip,
+                                    std::uint32_t(c) + 1, "task",
+                                    t0, traceNs(now) - t0,
+                                    per_core[c][cs.next].memBytes);
+                            }
+                            ++cs.next;
+                            load_next(c, now);
+                        }
+                    }
+                });
         // Fold fluid byte accounting serially in core-index order —
         // floating-point addition is the one non-exact reduction, so
         // its sequence must not depend on scheduling.
@@ -276,7 +277,13 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
             throwGuard("fault-free", guard, now, active.size(), cores,
                        done, totalTasks(per_core));
         }
-    }
+        if (!active.empty())
+            k.schedule(now, 0, "chip.resolve", resolve);
+    };
+
+    if (!active.empty())
+        kernel.schedule(0, 0, "chip.resolve", resolve);
+    kernel.run();
 
     ChipSimResult result;
     result.makespan = now;
@@ -412,8 +419,16 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
 
     const std::size_t grain = options.parallelGrain;
 
+    des::Kernel kernel(kernelOptions(options));
     int guard = 0;
-    while (true) {
+
+    // One degraded-mode re-solve per kernel event. The handler either
+    // advances the fluid state by one completion interval, or — when
+    // nothing can run — jumps the clock to the next external wake-up
+    // (fault strike or repair completion). It re-arms itself until
+    // the work drains or no survivor can ever run again.
+    std::function<void(des::Kernel &)> resolve;
+    resolve = [&](des::Kernel &k) {
         // Idle survivors pick up orphaned work as it appears.
         for (std::size_t c = 0; c < cores && !orphans.empty(); ++c)
             if (state[c].alive && !state[c].active)
@@ -451,13 +466,14 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
 
         if (!any_running) {
             if (!any_pending && orphans.empty())
-                break; // all work drained; later events are moot
+                return; // all work drained; later events are moot
             if (wake == inf) {
                 // Work remains but no core can ever run it again.
                 result.completed = false;
-                break;
+                return;
             }
             now = wake;
+            k.advanceTo(now);
             apply_events(now);
             if (++guard > options.guardLimit) {
                 std::uint64_t done = 0;
@@ -466,7 +482,8 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
                 throwGuard("degraded", guard, now, cores, cores, done,
                            totalTasks(per_core));
             }
-            continue;
+            k.schedule(now, 0, "chip.wake", resolve);
+            return;
         }
 
         const double rate =
@@ -492,33 +509,34 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
 
         const double t0 = now; // running() must see the old time
         now += dt;
+        k.advanceTo(now);
         // Parallel advance between re-solve points: all writes are
         // core-local; completed cores defer their queue/orphan refill
         // to the serial index-ordered pass below, so the shared
         // orphan deque is popped in the same deterministic order as a
         // serial run (lowest-index core first).
-        forSlices(cores, grain,
-                  [&](std::size_t b, std::size_t e, std::size_t) {
-                      for (std::size_t c = b; c < e; ++c) {
-                          CoreState &cs = state[c];
-                          cs.moved = 0;
-                          if (!cs.active || !cs.alive ||
-                              t0 < cs.pausedUntil)
-                              continue;
-                          if (cs.computeLeft > 0)
-                              cs.computeLeft = std::max(
-                                  0.0,
-                                  cs.computeLeft - dt / cs.slowdown);
-                          if (cs.bytesLeft > 0) {
-                              const double moved =
-                                  std::min(cs.bytesLeft, rate * dt);
-                              cs.bytesLeft -= moved;
-                              cs.moved = moved;
-                          }
-                          if (cs.computeLeft <= 0 && cs.bytesLeft <= 0)
-                              cs.reload = true;
-                      }
-                  });
+        k.phase("chip.advance", cores,
+                [&](std::size_t b, std::size_t e, std::size_t) {
+                    for (std::size_t c = b; c < e; ++c) {
+                        CoreState &cs = state[c];
+                        cs.moved = 0;
+                        if (!cs.active || !cs.alive ||
+                            t0 < cs.pausedUntil)
+                            continue;
+                        if (cs.computeLeft > 0)
+                            cs.computeLeft = std::max(
+                                0.0,
+                                cs.computeLeft - dt / cs.slowdown);
+                        if (cs.bytesLeft > 0) {
+                            const double moved =
+                                std::min(cs.bytesLeft, rate * dt);
+                            cs.bytesLeft -= moved;
+                            cs.moved = moved;
+                        }
+                        if (cs.computeLeft <= 0 && cs.bytesLeft <= 0)
+                            cs.reload = true;
+                    }
+                });
         for (std::size_t c = 0; c < cores; ++c) {
             CoreState &cs = state[c];
             bytes_moved += cs.moved;
@@ -550,7 +568,11 @@ runChipSim(const std::vector<std::vector<CoreTask>> &per_core,
             throwGuard("degraded", guard, now, live_active, cores, done,
                        totalTasks(per_core));
         }
-    }
+        k.schedule(now, 0, "chip.resolve", resolve);
+    };
+
+    kernel.schedule(0, 0, "chip.resolve", resolve);
+    kernel.run();
 
     result.makespan = now;
     result.coreFinish.reserve(cores);

@@ -10,14 +10,16 @@
  * stragglers, skewed partitions, and bandwidth contention between
  * unequal tasks are captured.
  *
- * Hot-path structure: the event loop only touches an *active-core
- * index set* (finished cores leave every scan), and between two
- * shared-memory rate re-solve points the independent per-core state
- * advances in parallel over runtime::parallelFor. Determinism
- * contract: chunk boundaries are thread-count independent, reductions
- * are exact (min / integer counts), and fluid byte accounting is
- * serialized in core-index order — so results are byte-identical at
- * any ASCEND_THREADS and any chunk grain.
+ * Hot-path structure: the simulation is a des::Kernel client — each
+ * rate re-solve is one kernel event that re-arms itself while work
+ * remains, and it only touches an *active-core index set* (finished
+ * cores leave every scan). Between two shared-memory rate re-solve
+ * points the independent per-core state advances as a kernel *phase*
+ * (fixed-grain slices over runtime::parallelFor). Determinism
+ * contract: slice boundaries are thread-count independent, phase
+ * reductions are exact (min / integer counts), and fluid byte
+ * accounting is serialized in core-index order — so results are
+ * byte-identical at any ASCEND_THREADS and any slice grain.
  *
  * Used to study block-level parallel execution (Section 5.2) on the
  * 910: how uneven layer splits and memory interference stretch the
@@ -74,9 +76,10 @@ struct ChipSimOptions
     int guardLimit = 4 * 1000 * 1000;
 
     /**
-     * Active cores per parallelFor chunk. Active sets smaller than
-     * two chunks advance serially (fan-out overhead would dominate
-     * at SoC scale); results never depend on the grain or the thread
+     * Active cores per kernel phase slice (forwarded to
+     * des::KernelOptions::parallelGrain). Active sets smaller than
+     * two slices advance inline (fan-out overhead would dominate at
+     * SoC scale); results never depend on the grain or the thread
      * count. ASCEND_CHIPSIM_GRAIN overrides the default.
      */
     std::size_t parallelGrain = 512;

@@ -14,10 +14,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "des/kernel.hh"
 #include "model/zoo.hh"
 #include "resilience/fault_schedule.hh"
 #include "runtime/sim_cache.hh"
@@ -146,6 +148,102 @@ TEST(Determinism, ChipSimUnderFaultsAcrossThreadsAndGrains)
         }
     }
     EXPECT_GT(base_failures, 0u); // the fault plan actually bites
+}
+
+/**
+ * Drive a des::Kernel with a seeded random event graph — events at
+ * random times/priorities whose handlers run two kernel phases and
+ * spawn random children — and fingerprint the full dispatch trace.
+ * Handlers draw from the shared Rng, so the trace matches across
+ * thread counts and grains only if the dispatch sequence is exactly
+ * the canonical (time, priority, seq) order every time. The phase
+ * work is element-wise (slicing-independent) plus an exact integer
+ * reduction, so the fingerprint is also grain-invariant.
+ */
+std::string
+desKernelTrace(std::uint64_t seed, std::size_t grain)
+{
+    Rng rng(seed);
+    des::KernelOptions options;
+    options.parallelGrain = grain;
+    des::Kernel kernel(options);
+
+    std::vector<double> cells(259);
+    for (double &c : cells)
+        c = rng.uniformReal();
+    std::vector<unsigned> slice_over(kernel.phaseSlices(cells.size()));
+    std::string log;
+    std::uint64_t hot = 0;
+
+    std::function<void(des::Kernel &, int)> node =
+        [&](des::Kernel &k, int depth) {
+            log += "ev t=" + fp(k.now());
+            k.phase("fuzz.scale", cells.size(),
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                        for (std::size_t i = b; i < e; ++i)
+                            cells[i] = cells[i] * 1.0000001 +
+                                       1e-9 * double(i);
+                    });
+            k.phase("fuzz.count", cells.size(),
+                    [&](std::size_t b, std::size_t e, std::size_t s) {
+                        unsigned n = 0;
+                        for (std::size_t i = b; i < e; ++i)
+                            if (cells[i] > 0.5)
+                                ++n;
+                        slice_over[s] = n;
+                    });
+            unsigned over = 0;
+            for (std::size_t s = 0;
+                 s < kernel.phaseSlices(cells.size()); ++s)
+                over += slice_over[s];
+            hot += over;
+            log += " over=" + std::to_string(over) + "\n";
+            if (depth < 3) {
+                const unsigned kids = unsigned(rng.uniform(3));
+                for (unsigned c = 0; c < kids; ++c)
+                    k.schedule(k.now() + rng.uniformReal(),
+                               std::int32_t(rng.uniform(4)),
+                               "fuzz.node",
+                               [&, depth](des::Kernel &kk) {
+                                   node(kk, depth + 1);
+                               });
+            }
+        };
+    for (int i = 0; i < 5; ++i)
+        kernel.schedule(rng.uniformReal() * 2.0,
+                        std::int32_t(rng.uniform(4)), "fuzz.root",
+                        [&](des::Kernel &k) { node(k, 0); });
+    unsigned quiesced = 0;
+    kernel.onQuiescent([&](des::Kernel &) { ++quiesced; });
+    kernel.scheduleQuiescent(1.0);
+    kernel.run();
+    log += "dispatched=" +
+           std::to_string(kernel.stats().eventsDispatched) +
+           " quiesced=" + std::to_string(quiesced) +
+           " hot=" + std::to_string(hot) + "\n";
+    return log;
+}
+
+TEST(Determinism, DesKernelRandomEventGraphs)
+{
+    for (std::uint64_t seed : {3ull, 42ull, 2026ull}) {
+        std::string base;
+        for (unsigned threads : kThreadCounts) {
+            for (std::size_t grain : kGrains) {
+                runtime::ScopedThreadPoolSize pool(threads);
+                const std::string now = desKernelTrace(seed, grain);
+                if (base.empty())
+                    base = now;
+                else
+                    EXPECT_EQ(now, base)
+                        << "seed " << seed << " threads " << threads
+                        << " grain " << grain;
+            }
+        }
+        // The graph must be non-trivial for the sweep to mean much.
+        EXPECT_NE(base.find("dispatched="), std::string::npos);
+        EXPECT_GT(base.size(), 64u) << base;
+    }
 }
 
 TEST(Determinism, CoreSimSessionAcrossThreads)
