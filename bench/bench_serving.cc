@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Overload-tolerant fleet serving: goodput and tail latency under
+ * offered load, failures, and degradation policy.
+ *
+ * The sweep drives the serving::runFleet engine with a batch latency
+ * curve measured on the repo's own chip simulator (resnet50 on the
+ * training-SoC core at anchor batch sizes, memoized by the SimCache)
+ * and an open-loop bursty arrival stream, across:
+ *
+ *   offered load x {shed, no-shed} x {faults, fault-free}
+ *
+ * The robustness claim the JSON captures: with admission control and
+ * deadline-aware shedding the fleet holds goodput near saturation and
+ * p99 within the SLO even at 2x offered load, while the ungoverned
+ * fleet's tail diverges without bound. Failures cost warm-spare
+ * failovers, retries and hedges instead of lost requests.
+ *
+ * Modes:
+ *  - (no args): the sweep. Prints deterministic tables (byte-stable
+ *    at any ASCEND_THREADS) and writes BENCH_serving.json;
+ *  - --chaos: SIGKILL/resume byte-diff experiment — kill a child at
+ *    >= 3 seeded event boundaries, resume, and require the resumed
+ *    report byte-identical to the uninterrupted one (CI job);
+ *  - --run --seed <n> --ckpt-dir <d> --out <f>: chaos child mode.
+ *
+ * The chaos scenario uses a synthetic latency curve: crash
+ * consistency of the engine is under test there, not the cost model.
+ */
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "model/zoo.hh"
+#include "serving/fleet.hh"
+#include "soc/training_soc.hh"
+
+using namespace ascend;
+using resilience::FaultSchedule;
+using resilience::FaultSpec;
+using serving::ArrivalSpec;
+using serving::BatchLatencyModel;
+using serving::FleetOptions;
+using serving::FleetResult;
+using serving::QosTier;
+using serving::Request;
+
+namespace {
+
+/** One sweep configuration and its outcome. */
+struct Cell
+{
+    double load = 0;    ///< offered / saturation
+    bool shed = false;  ///< admission control + deadline drops on
+    bool faults = false;
+    FleetResult r;
+};
+
+/** The two QoS classes every sweep cell serves. */
+std::vector<QosTier>
+sweepTiers(double batch_latency_sec)
+{
+    QosTier premium;
+    premium.name = "premium";
+    premium.deadlineSec = 5.0 * batch_latency_sec;
+    premium.share = 0.2;
+    premium.sheddable = false;
+    premium.reservedSlots = 2;
+    QosTier standard;
+    standard.name = "standard";
+    standard.deadlineSec = 3.0 * batch_latency_sec;
+    standard.share = 0.8;
+    standard.sheddable = true;
+    standard.reservedSlots = 0;
+    return {premium, standard};
+}
+
+FleetOptions
+sweepOptions(double batch_latency_sec, bool shed)
+{
+    FleetOptions o;
+    o.replicas = 4;
+    o.warmSpares = 1;
+    o.failoverSec = 2.0 * batch_latency_sec;
+    o.admission.enabled = shed;
+    o.admission.slackFactor = 1.0;
+    o.hedge.enabled = true;
+    o.hedge.afterSec = 1.25 * batch_latency_sec;
+    o.autoscale.enabled = true;
+    o.autoscale.checkIntervalSec = 2.0 * batch_latency_sec;
+    o.autoscale.queueDepthPerReplica = 16;
+    o.autoscale.spinUpSec = 5.0 * batch_latency_sec;
+    o.autoscale.maxExtraReplicas = 2;
+    o.retry.maxRetries = 3;
+    o.retry.timeoutSec = 0.5 * batch_latency_sec;
+    o.retry.backoffBaseSec = 0.1 * batch_latency_sec;
+    return o;
+}
+
+FaultSchedule
+sweepFaults(double horizon_sec, unsigned replicas, bool enabled)
+{
+    FaultSpec spec;
+    if (!enabled)
+        return FaultSchedule::generate(spec);
+    spec.seed = 8;
+    spec.horizonSec = horizon_sec;
+    spec.cores = replicas;
+    // ~2 permanent failures and ~2 outages across the fleet per run,
+    // plus one-in-four replicas straggling.
+    spec.corePermanentPerSec = 2.0 / (horizon_sec * replicas);
+    spec.coreTransientPerSec = 2.0 / (horizon_sec * replicas);
+    spec.coreRepairSec = horizon_sec / 20.0;
+    spec.stragglerFraction = 0.25;
+    spec.stragglerSlowdown = 1.5;
+    return FaultSchedule::generate(spec);
+}
+
+Cell
+runCell(const BatchLatencyModel &model, double load, bool shed,
+        bool faults_on)
+{
+    const double lb = model.latencySeconds(model.maxBatch());
+    const FleetOptions options = sweepOptions(lb, shed);
+    const double sat =
+        model.saturationRequestsPerSec(options.replicas);
+
+    ArrivalSpec arr;
+    arr.seed = 41;
+    arr.ratePerSec = load * sat;
+    arr.horizonSec = 2000.0 / sat; // ~2000*load offered requests
+    arr.burstFactor = 2.0;
+    arr.burstPeriodSec = arr.horizonSec / 10.0;
+    arr.burstDuty = 0.3;
+
+    const std::vector<QosTier> tiers = sweepTiers(lb);
+    const std::vector<Request> arrivals =
+        serving::generateArrivals(arr, tiers);
+    const FaultSchedule faults =
+        sweepFaults(arr.horizonSec, options.replicas, faults_on);
+
+    Cell c;
+    c.load = load;
+    c.shed = shed;
+    c.faults = faults_on;
+    c.r = serving::runFleet(arrivals, tiers, model, faults, options);
+    return c;
+}
+
+std::string
+ms(double sec)
+{
+    return TextTable::num(sec * 1e3, 3);
+}
+
+void
+printTable(const std::vector<Cell> &cells, bool faults_on,
+           double slo_sec)
+{
+    TextTable t(std::string("fleet under ") +
+                (faults_on ? "seeded failures" : "no failures") +
+                " (SLO p99 <= " + ms(slo_sec) + " ms)");
+    t.header({"load", "policy", "offered", "shed", "goodput",
+              "goodput%", "p50 ms", "p99 ms", "p999 ms", "failover",
+              "hedges", "retries"});
+    for (const Cell &c : cells) {
+        if (c.faults != faults_on)
+            continue;
+        const double pct =
+            c.r.offered
+                ? 100.0 * double(c.r.goodput) / double(c.r.offered)
+                : 0;
+        t.row({TextTable::num(c.load, 2),
+               c.shed ? "shed" : "no-shed",
+               TextTable::num(c.r.offered),
+               TextTable::num(c.r.shed),
+               TextTable::num(c.r.goodput), TextTable::num(pct, 1),
+               ms(c.r.p50), ms(c.r.p99), ms(c.r.p999),
+               TextTable::num(c.r.failovers),
+               TextTable::num(c.r.hedges),
+               TextTable::num(c.r.retries)});
+    }
+    t.print(std::cout);
+}
+
+void
+writeJson(const std::vector<Cell> &cells, double saturation_rps,
+          double slo_sec, double p99_bound_sec)
+{
+    std::ofstream out("BENCH_serving.json");
+    out << "{\n  \"saturation_rps\": " << saturation_rps
+        << ",\n  \"slo_p99_sec\": " << slo_sec
+        // A governed fleet's hard tail bound: a request dispatched
+        // just before its deadline still rides one full batch.
+        << ",\n  \"p99_bound_sec\": " << p99_bound_sec
+        << ",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        out << "    {\"load\": " << c.load
+            << ", \"shed\": " << (c.shed ? "true" : "false")
+            << ", \"faults\": " << (c.faults ? "true" : "false")
+            << ", \"offered\": " << c.r.offered
+            << ", \"admitted\": " << c.r.admitted
+            << ", \"shed_count\": " << c.r.shed
+            << ", \"completed\": " << c.r.completed
+            << ", \"goodput\": " << c.r.goodput
+            << ", \"p50_sec\": " << c.r.p50
+            << ", \"p99_sec\": " << c.r.p99
+            << ", \"p999_sec\": " << c.r.p999
+            << ", \"retries\": " << c.r.retries
+            << ", \"hedges\": " << c.r.hedges
+            << ", \"failures\": " << c.r.replicaFailures
+            << ", \"failovers\": " << c.r.failovers
+            << ", \"autoscale_ups\": " << c.r.autoscaleUps << "}"
+            << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    // stderr: keep the diffable stdout byte-identical.
+    std::cerr << "wrote BENCH_serving.json\n";
+}
+
+int
+sweep()
+{
+    bench::banner("Fleet serving under overload: admission control, "
+                  "hedged retries, failure-aware degradation");
+
+    // Batch latency measured on the chip simulator: resnet50 on the
+    // training-SoC core at anchor batch sizes (SimCache-memoized).
+    soc::TrainingSoc soc910;
+    runtime::SimSession session(soc910.coreConfig());
+    const BatchLatencyModel model = BatchLatencyModel::fromNetwork(
+        session,
+        [](unsigned batch) { return model::zoo::resnet50(batch); },
+        {1, 2, 4, 8}, session.config().clockGhz);
+
+    const double lb = model.latencySeconds(model.maxBatch());
+    const double sat = model.saturationRequestsPerSec(4);
+    std::cout << "batch curve: 1 -> "
+              << ms(model.latencySeconds(1)) << " ms, "
+              << model.maxBatch() << " -> " << ms(lb)
+              << " ms; 4-replica saturation "
+              << TextTable::num(sat, 1) << " req/s\n";
+
+    std::vector<Cell> cells;
+    for (double load : {0.5, 1.0, 1.5, 2.0})
+        for (bool faults_on : {false, true})
+            for (bool shed : {true, false})
+                cells.push_back(
+                    runCell(model, load, shed, faults_on));
+
+    // The governed fleet's SLO: the premium deadline.
+    const double slo = sweepTiers(lb)[0].deadlineSec;
+    printTable(cells, false, slo);
+    printTable(cells, true, slo);
+    std::cout << "shedding holds p99 near the SLO past saturation; "
+                 "the ungoverned fleet's\ntail grows with every "
+                 "queued request. failures cost failovers and "
+                 "retries,\nnot lost requests.\n";
+    writeJson(cells, sat, slo, slo + lb);
+    return 0;
+}
+
+/** Everything one chaos scenario needs, derived from the seed. */
+struct Scenario
+{
+    std::vector<QosTier> tiers;
+    std::vector<Request> arrivals;
+    BatchLatencyModel model;
+    FaultSchedule faults;
+    FleetOptions options;
+};
+
+Scenario
+scenario(std::uint64_t seed)
+{
+    Scenario sc;
+    // Synthetic curve: the chaos experiment tests crash consistency,
+    // not the cost model.
+    sc.model = BatchLatencyModel::linear(2e-3, 5e-4, 8);
+    const double lb = sc.model.latencySeconds(8);
+    sc.tiers = sweepTiers(lb);
+    sc.options = sweepOptions(lb, true);
+    sc.options.warmSpares = 2;
+    sc.options.checkpointIntervalSec = 5.0 * lb;
+
+    ArrivalSpec arr;
+    arr.seed = seed;
+    arr.ratePerSec =
+        1.2 * sc.model.saturationRequestsPerSec(sc.options.replicas);
+    arr.horizonSec = 0.25;
+    arr.burstFactor = 2.0;
+    arr.burstPeriodSec = 0.05;
+    arr.burstDuty = 0.3;
+    sc.arrivals = serving::generateArrivals(arr, sc.tiers);
+
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.horizonSec = arr.horizonSec;
+    spec.cores = sc.options.replicas;
+    spec.corePermanentPerSec = 8.0 / (spec.horizonSec * spec.cores);
+    spec.coreTransientPerSec = 8.0 / (spec.horizonSec * spec.cores);
+    spec.coreRepairSec = 0.02;
+    spec.stragglerFraction = 0.5;
+    spec.stragglerSlowdown = 1.8;
+    sc.faults = FaultSchedule::generate(spec);
+    return sc;
+}
+
+std::uint64_t
+seedFromEnv()
+{
+    const char *env = std::getenv("ASCEND_CHAOS_SEED");
+    return env && *env ? std::strtoull(env, nullptr, 10) : 5;
+}
+
+FleetResult
+runScenario(Scenario &sc)
+{
+    return serving::runFleet(sc.arrivals, sc.tiers, sc.model,
+                             sc.faults, sc.options);
+}
+
+/** Child mode: run with on-disk checkpoints, marking every event. */
+int
+childMain(std::uint64_t seed, const std::string &ckpt_dir,
+          const std::string &out_path)
+{
+    Scenario sc = scenario(seed);
+    sc.options.checkpointDir = ckpt_dir;
+    unsigned events = 0;
+    sc.options.onEvent = [&events](const std::string &) {
+        std::printf("CHAOS-EVENT %u\n", ++events);
+        std::fflush(stdout);
+        // Give the parent's SIGKILL a window to land mid-run; wall
+        // clock never feeds back into simulated results.
+        ::usleep(20 * 1000);
+    };
+    const FleetResult r = runScenario(sc);
+    if (!writeFileText(out_path, r.report())) {
+        std::fprintf(stderr, "chaos child: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** Fork/exec a child run; returns its pid, stdout on @p out_fd. */
+pid_t
+spawnChild(const char *self, std::uint64_t seed,
+           const std::string &ckpt_dir, const std::string &out_path,
+           int *out_fd)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        fatal("pipe failed");
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("fork failed");
+    if (pid == 0) {
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        const std::string seed_str = std::to_string(seed);
+        const char *argv[] = {self,
+                              "--run",
+                              "--seed",
+                              seed_str.c_str(),
+                              "--ckpt-dir",
+                              ckpt_dir.c_str(),
+                              "--out",
+                              out_path.c_str(),
+                              nullptr};
+        ::execv(self, const_cast<char *const *>(argv));
+        std::perror("execv");
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+    *out_fd = fds[0];
+    return pid;
+}
+
+/** Read event-marker lines until @p kill_after, then SIGKILL. */
+void
+killAfterEvents(pid_t pid, int out_fd, unsigned kill_after)
+{
+    FILE *stream = ::fdopen(out_fd, "r");
+    char line[256];
+    unsigned seen = 0;
+    while (seen < kill_after &&
+           std::fgets(line, sizeof(line), stream)) {
+        if (std::strncmp(line, "CHAOS-EVENT ", 12) == 0)
+            ++seen;
+    }
+    ::kill(pid, SIGKILL);
+    // Drain whatever raced out before the kill took effect.
+    while (std::fgets(line, sizeof(line), stream)) {
+    }
+    std::fclose(stream);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+}
+
+/** One kill-and-resume experiment; true when the diff is empty. */
+bool
+chaosExperiment(const char *self, std::uint64_t seed,
+                unsigned kill_after, const std::string &golden,
+                const std::string &work_dir)
+{
+    const std::string ckpt_dir = work_dir + "/ckpt";
+    const std::string out_path = work_dir + "/out.txt";
+    std::error_code ec;
+    std::filesystem::remove_all(work_dir, ec);
+    std::filesystem::create_directories(ckpt_dir, ec);
+
+    int out_fd = -1;
+    const pid_t victim =
+        spawnChild(self, seed, ckpt_dir, out_path, &out_fd);
+    killAfterEvents(victim, out_fd, kill_after);
+
+    // Resume (or, if the victim finished first, re-run) to completion.
+    const pid_t resumed =
+        spawnChild(self, seed, ckpt_dir, out_path, &out_fd);
+    {
+        FILE *stream = ::fdopen(out_fd, "r");
+        char line[256];
+        while (std::fgets(line, sizeof(line), stream)) {
+        }
+        std::fclose(stream);
+    }
+    int status = 0;
+    ::waitpid(resumed, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::cerr << "chaos: resume child failed (seed " << seed
+                  << ", kill after " << kill_after << ")\n";
+        return false;
+    }
+
+    std::string resumed_report;
+    if (!readFileText(out_path, resumed_report)) {
+        std::cerr << "chaos: missing report " << out_path << "\n";
+        return false;
+    }
+    const std::string diff = diffGolden(golden, resumed_report);
+    if (!diff.empty()) {
+        std::cerr << "chaos: resumed report differs (seed " << seed
+                  << ", kill after " << kill_after << "):\n"
+                  << diff;
+        return false;
+    }
+    return true;
+}
+
+int
+chaosMain(const char *self)
+{
+    const std::uint64_t seed = seedFromEnv();
+    const std::string work_dir =
+        "serving_chaos_work_" + std::to_string(::getpid());
+
+    // The golden run checkpoints like the children do: the engine
+    // logs a "checkpoint seq" event per save, so the uninterrupted
+    // report is byte-comparable only under the same persistence
+    // config.
+    Scenario sc = scenario(seed);
+    sc.options.checkpointDir = work_dir + "/golden-ckpt";
+    std::error_code ec;
+    std::filesystem::create_directories(sc.options.checkpointDir, ec);
+    const FleetResult uninterrupted = runScenario(sc);
+    const std::string golden = uninterrupted.report();
+
+    unsigned total_events = 0;
+    for (char c : uninterrupted.eventLog)
+        if (c == '\n')
+            ++total_events;
+    std::cout << "chaos seed " << seed << ": " << total_events
+              << " events, " << uninterrupted.completed
+              << " completed / " << uninterrupted.offered
+              << " offered\n";
+    if (total_events < 3) {
+        std::cerr << "chaos: scenario too quiet (" << total_events
+                  << " events); pick another seed\n";
+        return 1;
+    }
+
+    // Kill at >= 3 distinct event boundaries spread across the run.
+    std::vector<unsigned> kill_points = {1, total_events / 2,
+                                         total_events - 1};
+    std::sort(kill_points.begin(), kill_points.end());
+    kill_points.erase(
+        std::unique(kill_points.begin(), kill_points.end()),
+        kill_points.end());
+
+    bool ok = true;
+    for (unsigned k : kill_points) {
+        const bool pass =
+            chaosExperiment(self, seed, k, golden, work_dir);
+        std::cout << "  kill after event " << k << ": "
+                  << (pass ? "resumed byte-identical" : "MISMATCH")
+                  << "\n";
+        ok = ok && pass;
+    }
+    std::filesystem::remove_all(work_dir, ec);
+    std::cout << (ok ? "chaos: all kill points byte-identical\n"
+                     : "chaos: FAILED\n");
+    return ok ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool run_mode = false, chaos_mode = false;
+    std::uint64_t seed = seedFromEnv();
+    std::string ckpt_dir, out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--run") == 0) {
+            run_mode = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos_mode = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--ckpt-dir") == 0 &&
+                   i + 1 < argc) {
+            ckpt_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            fatal("unknown flag '%s' (--chaos | --run --seed <n> "
+                  "--ckpt-dir <d> --out <f>)",
+                  argv[i]);
+        }
+    }
+    if (run_mode)
+        return childMain(seed, ckpt_dir, out_path);
+    if (chaos_mode)
+        return chaosMain("/proc/self/exe");
+    return sweep();
+}

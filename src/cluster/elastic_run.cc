@@ -140,6 +140,7 @@ runFingerprint(const TrainingJob &job, const ClusterConfig &cluster,
     putBits(s, retry.backoffBaseSec);
     putBits(s, retry.backoffMultiplier);
     putBits(s, retry.backoffCapSec);
+    putBits(s, retry.giveUpAfterSeconds);
     putBits(s, retry.degradedBandwidthFactor);
     putU64(s, std::uint64_t(mode));
     s += fingerprint(options);

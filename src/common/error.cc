@@ -23,6 +23,7 @@ toString(ErrorCode code)
       case ErrorCode::FaultInjected:    return "fault-injected";
       case ErrorCode::GuardExceeded:    return "guard-exceeded";
       case ErrorCode::KernelMisuse:     return "kernel-misuse";
+      case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
     }
     return "unknown";
 }

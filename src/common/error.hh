@@ -35,6 +35,7 @@ enum class ErrorCode {
     FaultInjected,    ///< a simulated fault escalated to fail-stop
     GuardExceeded,    ///< a simulation event-count guard tripped
     KernelMisuse,     ///< des::Kernel API contract violated
+    CheckpointCorrupt, ///< checkpoint artifact failed validation
 };
 
 /** Stable lower-case name of @p code (used in what() prefixes). */

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hh"
 #include "obs/tracer.hh"
@@ -141,6 +142,16 @@ Kernel::run()
         }
         e.fn(*this);
     }
+}
+
+double
+Kernel::nextEventTime() const
+{
+    if (queue_.empty())
+        return std::numeric_limits<double>::infinity();
+    // queue_ is a heap under EventAfter, so the front is the earliest
+    // (time, priority, seq) key.
+    return queue_.front().time;
 }
 
 std::size_t

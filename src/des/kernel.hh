@@ -156,6 +156,18 @@ class Kernel
     /** Pending (not yet dispatched) events. */
     std::size_t pending() const { return queue_.size(); }
 
+    /**
+     * Sim time of the earliest pending event (+inf when the queue is
+     * empty). Clients composing several event sources on one kernel
+     * (e.g. the serving fleet's arrivals, completions and fault polls)
+     * use this to decide whether re-arming a tick would land before
+     * already-scheduled work. Stop/resume composition works the same
+     * way: after stop() the queue is preserved, a second client may
+     * register events and quiescent hooks, and the next run() resumes
+     * in canonical (time, priority, seq) order across both clients.
+     */
+    double nextEventTime() const;
+
     const KernelStats &stats() const { return stats_; }
 
     /**

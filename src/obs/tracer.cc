@@ -106,6 +106,7 @@ processName(std::uint32_t pid)
       case Domain::Noc:     return "noc mesh (cycles)";
       case Domain::Cluster: return "cluster collectives (ns)";
       case Domain::Kernel:  return "des kernel (ns)";
+      case Domain::Serving: return "serving fleet (ns)";
     }
     return "?";
 }
@@ -124,6 +125,9 @@ trackName(std::uint32_t pid, std::uint32_t tid)
       case Domain::Cluster:
         return tid == 2 ? "elastic recovery" : "phases";
       case Domain::Kernel:  return "phases";
+      case Domain::Serving:
+        return tid == 1 ? "fleet"
+                        : "replica" + std::to_string(tid - 2);
     }
     return "?";
 }

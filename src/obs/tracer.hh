@@ -66,6 +66,7 @@ enum class Domain : std::uint32_t {
     Noc = 4,     ///< mesh NoC; timestamps in NoC cycles
     Cluster = 5, ///< collective phases; timestamps in nanoseconds
     Kernel = 6,  ///< des kernel phases; timestamps in nanoseconds
+    Serving = 7, ///< fleet serving sim; timestamps in nanoseconds
 };
 
 /** One completed interval on a (domain, track) timeline. */

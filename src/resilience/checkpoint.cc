@@ -12,12 +12,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hh"
+
 namespace ascend {
 namespace resilience {
 
 namespace {
 
 constexpr char kMagic[8] = {'A', 'S', 'C', 'C', 'K', 'P', 'T', '\n'};
+constexpr char kBlobMagic[8] = {'A', 'S', 'C', 'B', 'L', 'O', 'B', '\n'};
 constexpr std::uint64_t kFormatVersion = 1;
 
 /** Longest string the loader accepts (corrupt lengths must not OOM). */
@@ -187,6 +190,12 @@ CheckpointStore::save(const RunCheckpoint &state) const
     writeString(buf, state.eventLog);
     writeU64(buf, checksum(buf.data(), buf.size()));
 
+    return writeAtomic(buf);
+}
+
+bool
+CheckpointStore::writeAtomic(const std::string &buf) const
+{
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     const std::string target = path();
@@ -211,46 +220,73 @@ CheckpointStore::save(const RunCheckpoint &state) const
     return true;
 }
 
-bool
-CheckpointStore::load(RunCheckpoint &out,
-                      const std::string &run_id) const
+namespace {
+
+/**
+ * Read the store file and validate frame + checksum against
+ * @p magic. @return one of: "missing" (no readable file), a refusal
+ * reason, or nullptr with @p data / @p body set (body = offset of the
+ * trailing checksum).
+ */
+const char *
+readFramed(const std::string &file, const char (&magic)[8],
+           std::string &data, std::size_t &body)
 {
-    std::string data;
     {
-        std::ifstream in(path(), std::ios::binary);
+        std::ifstream in(file, std::ios::binary);
         if (!in)
-            return false;
+            return "missing";
         std::ostringstream os;
         os << in.rdbuf();
         data = os.str();
     }
-    if (data.size() < sizeof(kMagic) + 2 * sizeof(std::uint64_t) ||
-        std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
-        return false;
+    if (data.size() < sizeof(magic) + 2 * sizeof(std::uint64_t))
+        return "file shorter than any valid checkpoint";
+    if (std::memcmp(data.data(), magic, sizeof(magic)) != 0)
+        return "bad magic";
     // The trailing checksum covers everything before it; verify it
     // first so a flipped bit anywhere is one clean refusal.
-    const std::size_t body = data.size() - sizeof(std::uint64_t);
+    body = data.size() - sizeof(std::uint64_t);
     std::uint64_t want = 0;
     std::memcpy(&want, data.data() + body, sizeof(want));
     if (checksum(data.data(), body) != want)
-        return false;
+        return "checksum mismatch";
+    return nullptr;
+}
+
+} // anonymous namespace
+
+const char *
+CheckpointStore::loadInternal(RunCheckpoint &out,
+                              const std::string &run_id) const
+{
+    std::string data;
+    std::size_t body = 0;
+    if (const char *why = readFramed(path(), kMagic, data, body))
+        return why;
 
     Reader r{data, sizeof(kMagic)};
     std::uint64_t format = 0;
     RunCheckpoint s;
-    if (!r.readU64(format) || format != kFormatVersion ||
-        !r.readString(s.runId) || s.runId != run_id ||
-        !r.readU64(s.sequence) || !r.readU64(s.nextStep) ||
+    if (!r.readU64(format))
+        return "truncated header";
+    if (format != kFormatVersion)
+        return "unknown format version";
+    if (!r.readString(s.runId))
+        return "truncated runId";
+    if (s.runId != run_id)
+        return "foreign runId";
+    if (!r.readU64(s.sequence) || !r.readU64(s.nextStep) ||
         !r.readDouble(s.simTimeSec))
-        return false;
+        return "truncated body";
     std::uint64_t nodes = 0;
     if (!r.readU64(nodes) || nodes > kMaxStringLen)
-        return false;
+        return "implausible node count";
     s.activeNodes.reserve(std::size_t(nodes));
     for (std::uint64_t i = 0; i < nodes; ++i) {
         std::uint64_t node = 0;
         if (!r.readU64(node))
-            return false;
+            return "truncated node list";
         s.activeNodes.push_back(std::uint32_t(node));
     }
     if (!r.readU64(s.sparesLeft) ||
@@ -258,10 +294,93 @@ CheckpointStore::load(RunCheckpoint &out,
         !r.readDouble(s.lastCheckpointSec) ||
         !r.readU64(s.nodeEventCursor) ||
         !r.readU64(s.eccEventCursor) || !readCounters(r, s.counters) ||
-        !r.readString(s.eventLog) || r.pos != body)
-        return false;
+        !r.readString(s.eventLog))
+        return "truncated body";
+    if (r.pos != body)
+        return "trailing bytes after body";
     out = std::move(s);
-    return true;
+    return nullptr;
+}
+
+bool
+CheckpointStore::load(RunCheckpoint &out,
+                      const std::string &run_id) const
+{
+    return loadInternal(out, run_id) == nullptr;
+}
+
+bool
+CheckpointStore::loadChecked(RunCheckpoint &out,
+                             const std::string &run_id) const
+{
+    const char *why = loadInternal(out, run_id);
+    if (why == nullptr)
+        return true;
+    if (std::strcmp(why, "missing") == 0)
+        return false;
+    throw Error(ErrorCode::CheckpointCorrupt,
+                std::string(why) + ": " + path());
+}
+
+bool
+CheckpointStore::saveBlob(const std::string &run_id,
+                          const std::string &payload) const
+{
+    std::string buf;
+    buf.reserve(64 + run_id.size() + payload.size());
+    buf.append(kBlobMagic, sizeof(kBlobMagic));
+    writeU64(buf, kFormatVersion);
+    writeString(buf, run_id);
+    writeString(buf, payload);
+    writeU64(buf, checksum(buf.data(), buf.size()));
+    return writeAtomic(buf);
+}
+
+const char *
+CheckpointStore::loadBlobInternal(std::string &payload,
+                                  const std::string &run_id) const
+{
+    std::string data;
+    std::size_t body = 0;
+    if (const char *why = readFramed(path(), kBlobMagic, data, body))
+        return why;
+    Reader r{data, sizeof(kBlobMagic)};
+    std::uint64_t format = 0;
+    std::string id, out;
+    if (!r.readU64(format))
+        return "truncated header";
+    if (format != kFormatVersion)
+        return "unknown format version";
+    if (!r.readString(id))
+        return "truncated runId";
+    if (id != run_id)
+        return "foreign runId";
+    if (!r.readString(out))
+        return "truncated payload";
+    if (r.pos != body)
+        return "trailing bytes after body";
+    payload = std::move(out);
+    return nullptr;
+}
+
+bool
+CheckpointStore::loadBlob(std::string &payload,
+                          const std::string &run_id) const
+{
+    return loadBlobInternal(payload, run_id) == nullptr;
+}
+
+bool
+CheckpointStore::loadBlobChecked(std::string &payload,
+                                 const std::string &run_id) const
+{
+    const char *why = loadBlobInternal(payload, run_id);
+    if (why == nullptr)
+        return true;
+    if (std::strcmp(why, "missing") == 0)
+        return false;
+    throw Error(ErrorCode::CheckpointCorrupt,
+                std::string(why) + ": " + path());
 }
 
 void

@@ -115,10 +115,49 @@ class CheckpointStore
      */
     bool load(RunCheckpoint &out, const std::string &run_id) const;
 
+    /**
+     * load() with structured diagnosis: a missing/unreadable file
+     * still returns false quietly (absence is a normal cold start),
+     * but every validation failure — bad magic, unknown format,
+     * checksum mismatch, truncated or over-long field, foreign
+     * runId — throws ascend::Error{CheckpointCorrupt} naming the
+     * refusal. Fuzz tests flip bits and truncate artifacts and assert
+     * every corruption lands here, never in a crash or a silent
+     * acceptance.
+     */
+    bool loadChecked(RunCheckpoint &out,
+                     const std::string &run_id) const;
+
+    /**
+     * Persist an opaque client payload (e.g. the serving engine's
+     * serialized state) atomically under the same disk discipline as
+     * save(): temp file + rename, magic/version header, identity
+     * fingerprint, trailing FNV-1a checksum.
+     */
+    bool saveBlob(const std::string &run_id,
+                  const std::string &payload) const;
+
+    /**
+     * Load a payload written by saveBlob(). Returns false on a
+     * missing file or any validation failure; the Checked variant
+     * throws ascend::Error{CheckpointCorrupt} on corruption like
+     * loadChecked().
+     */
+    bool loadBlob(std::string &payload, const std::string &run_id) const;
+    bool loadBlobChecked(std::string &payload,
+                         const std::string &run_id) const;
+
     /** Delete the checkpoint file (missing file is not an error). */
     void remove() const;
 
   private:
+    bool writeAtomic(const std::string &buf) const;
+    /** nullptr = success; "missing" = no file; else refusal reason. */
+    const char *loadInternal(RunCheckpoint &out,
+                             const std::string &run_id) const;
+    const char *loadBlobInternal(std::string &payload,
+                                 const std::string &run_id) const;
+
     std::string dir_;
     std::string name_;
 };

@@ -6,6 +6,7 @@
 #include "resilience/policy.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -39,6 +40,84 @@ retryDelaySeconds(const RetryPolicy &policy, unsigned attempt)
             return policy.backoffCapSec;
     }
     return std::min(delay, policy.backoffCapSec);
+}
+
+double
+retryCumulativeSeconds(const RetryPolicy &policy, unsigned attempts)
+{
+    if (attempts == 0)
+        return 0;
+    const double mult = std::max(policy.backoffMultiplier, 1.0);
+    double total = 0;
+    double delay = policy.backoffBaseSec;
+    unsigned i = 0;
+    // Geometric prefix, term for term the values retryDelaySeconds
+    // returns; stops at the exact saturation point so the tail below
+    // is a closed form, never an O(attempts) spin.
+    if (mult > 1.0 && delay > 0) {
+        for (; i < attempts && delay < policy.backoffCapSec; ++i) {
+            total += policy.timeoutSec +
+                     std::min(delay, policy.backoffCapSec);
+            delay *= mult;
+        }
+    }
+    if (i < attempts) {
+        // Saturated (or constant-backoff) tail: every further retry
+        // costs the same.
+        const double per = policy.timeoutSec +
+                           std::min(delay, policy.backoffCapSec);
+        total += double(attempts - i) * per;
+    }
+    return total;
+}
+
+bool
+retryPermitted(const RetryPolicy &policy, unsigned attempt)
+{
+    if (attempt >= policy.maxRetries)
+        return false;
+    if (policy.giveUpAfterSeconds <= 0)
+        return true;
+    return retryCumulativeSeconds(policy, attempt + 1) <=
+           policy.giveUpAfterSeconds;
+}
+
+unsigned
+retriesWithinBudget(const RetryPolicy &policy)
+{
+    if (policy.giveUpAfterSeconds <= 0)
+        return policy.maxRetries;
+    const double budget = policy.giveUpAfterSeconds;
+    const double mult = std::max(policy.backoffMultiplier, 1.0);
+    double total = 0;
+    double delay = policy.backoffBaseSec;
+    unsigned n = 0;
+    if (mult > 1.0 && delay > 0) {
+        while (n < policy.maxRetries && delay < policy.backoffCapSec) {
+            const double cost = policy.timeoutSec +
+                                std::min(delay, policy.backoffCapSec);
+            if (total + cost > budget)
+                return n;
+            total += cost;
+            ++n;
+            delay *= mult;
+        }
+    }
+    if (n >= policy.maxRetries)
+        return n;
+    const double per =
+        policy.timeoutSec + std::min(delay, policy.backoffCapSec);
+    if (per <= 0)
+        return policy.maxRetries;
+    const double room = double(policy.maxRetries - n);
+    double more = std::min(std::floor((budget - total) / per), room);
+    // The division can land one retry off the multiply form
+    // retryCumulativeSeconds uses; nudge until the two agree exactly.
+    while (more > 0 && total + more * per > budget)
+        more -= 1;
+    while (more < room && total + (more + 1) * per <= budget)
+        more += 1;
+    return n + unsigned(more);
 }
 
 double

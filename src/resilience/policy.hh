@@ -45,10 +45,42 @@ struct RetryPolicy
     double backoffCapSec = 1e-1;    ///< backoff saturation
     /** Bandwidth multiplier once ContinueDegraded kicks in. */
     double degradedBandwidthFactor = 0.25;
+    /**
+     * Deadline budget: retry number n is permitted only while the
+     * cumulative retry delay through n (every failed attempt's
+     * timeout plus its backoff sleep) stays within this budget.
+     * The serving layer sets it to the request's QoS deadline so a
+     * request never burns retries it cannot possibly spend and still
+     * answer in time. 0 disables the budget (maxRetries alone rules).
+     */
+    double giveUpAfterSeconds = 0;
 };
 
 /** Backoff sleep before retry number @p attempt (0-based). */
 double retryDelaySeconds(const RetryPolicy &policy, unsigned attempt);
+
+/**
+ * Cumulative delay of the first @p attempts failed tries: each one
+ * costs timeoutSec plus its backoff sleep. Closed-form over the
+ * geometric prefix and the cap-saturated tail, so huge attempt counts
+ * cost O(saturation point), never O(attempts).
+ */
+double retryCumulativeSeconds(const RetryPolicy &policy,
+                              unsigned attempts);
+
+/**
+ * May retry number @p attempt (0-based) be launched after @p attempt
+ * failures? False once attempt >= maxRetries, and — when
+ * giveUpAfterSeconds is set — once the cumulative delay through this
+ * retry would exceed the budget.
+ */
+bool retryPermitted(const RetryPolicy &policy, unsigned attempt);
+
+/**
+ * Retries the policy can actually launch: the largest n <= maxRetries
+ * with retryCumulativeSeconds(n) within the deadline budget.
+ */
+unsigned retriesWithinBudget(const RetryPolicy &policy);
 
 /** Checkpoint/restart cost model for uncorrectable errors. */
 struct CheckpointPolicy

@@ -93,6 +93,30 @@ atomicResilienceCounters()
     return t;
 }
 
+/** Relaxed atomic mirror of ServingCounters. */
+struct AtomicServingCounters
+{
+    std::atomic<std::uint64_t> servingRuns{0};
+    std::atomic<std::uint64_t> offered{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> goodput{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> hedges{0};
+    std::atomic<std::uint64_t> replicaFailures{0};
+    std::atomic<std::uint64_t> failovers{0};
+    std::atomic<std::uint64_t> autoscaleUps{0};
+    std::atomic<std::uint64_t> checkpointsSaved{0};
+};
+
+AtomicServingCounters &
+atomicServingCounters()
+{
+    static AtomicServingCounters t;
+    return t;
+}
+
 /** Relaxed atomic mirror of KernelCounters. */
 struct AtomicKernelCounters
 {
@@ -205,6 +229,64 @@ resetResilienceTotals()
     t.speculations = 0;
     t.sparesUsed = 0;
     t.spareExhausted = 0;
+    t.checkpointsSaved = 0;
+}
+
+void
+chargeServing(const ServingCounters &delta)
+{
+    AtomicServingCounters &t = atomicServingCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    t.servingRuns.fetch_add(delta.servingRuns, relaxed);
+    t.offered.fetch_add(delta.offered, relaxed);
+    t.admitted.fetch_add(delta.admitted, relaxed);
+    t.shed.fetch_add(delta.shed, relaxed);
+    t.completed.fetch_add(delta.completed, relaxed);
+    t.goodput.fetch_add(delta.goodput, relaxed);
+    t.retries.fetch_add(delta.retries, relaxed);
+    t.hedges.fetch_add(delta.hedges, relaxed);
+    t.replicaFailures.fetch_add(delta.replicaFailures, relaxed);
+    t.failovers.fetch_add(delta.failovers, relaxed);
+    t.autoscaleUps.fetch_add(delta.autoscaleUps, relaxed);
+    t.checkpointsSaved.fetch_add(delta.checkpointsSaved, relaxed);
+}
+
+ServingCounters
+servingTotals()
+{
+    const AtomicServingCounters &t = atomicServingCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    ServingCounters out;
+    out.servingRuns = t.servingRuns.load(relaxed);
+    out.offered = t.offered.load(relaxed);
+    out.admitted = t.admitted.load(relaxed);
+    out.shed = t.shed.load(relaxed);
+    out.completed = t.completed.load(relaxed);
+    out.goodput = t.goodput.load(relaxed);
+    out.retries = t.retries.load(relaxed);
+    out.hedges = t.hedges.load(relaxed);
+    out.replicaFailures = t.replicaFailures.load(relaxed);
+    out.failovers = t.failovers.load(relaxed);
+    out.autoscaleUps = t.autoscaleUps.load(relaxed);
+    out.checkpointsSaved = t.checkpointsSaved.load(relaxed);
+    return out;
+}
+
+void
+resetServingTotals()
+{
+    AtomicServingCounters &t = atomicServingCounters();
+    t.servingRuns = 0;
+    t.offered = 0;
+    t.admitted = 0;
+    t.shed = 0;
+    t.completed = 0;
+    t.goodput = 0;
+    t.retries = 0;
+    t.hedges = 0;
+    t.replicaFailures = 0;
+    t.failovers = 0;
+    t.autoscaleUps = 0;
     t.checkpointsSaved = 0;
 }
 
@@ -333,6 +415,29 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
                             " quiescent points"});
         rows.push_back({"des queue high-water",
                         std::to_string(kern.queueHighWater), ""});
+    }
+    const ServingCounters srv = servingTotals();
+    if (srv.servingRuns) {
+        rows.push_back({"serving runs",
+                        std::to_string(srv.servingRuns), ""});
+        rows.push_back({"serving requests",
+                        std::to_string(srv.offered) + " offered",
+                        std::to_string(srv.admitted) + " admitted"});
+        rows.push_back({"serving goodput",
+                        std::to_string(srv.goodput),
+                        std::to_string(srv.completed) + " completed"});
+        rows.push_back({"serving shed",
+                        std::to_string(srv.shed), ""});
+        rows.push_back({"serving retries",
+                        std::to_string(srv.retries),
+                        std::to_string(srv.hedges) + " hedges"});
+        rows.push_back({"serving failures",
+                        std::to_string(srv.replicaFailures),
+                        std::to_string(srv.failovers) + " failovers"});
+        rows.push_back({"serving autoscale-ups",
+                        std::to_string(srv.autoscaleUps),
+                        std::to_string(srv.checkpointsSaved) +
+                            " checkpoints"});
     }
     const ResilienceCounters res = resilienceTotals();
     if (res.elasticRuns) {

@@ -189,6 +189,36 @@ struct KernelCounters
     std::uint64_t queueHighWater = 0;
 };
 
+/**
+ * Process-wide fleet-serving totals, accumulated from every
+ * serving::runFleet simulation. Sim-time counters like PipeTotals:
+ * deterministic for a fixed workload at any thread count.
+ */
+struct ServingCounters
+{
+    std::uint64_t servingRuns = 0; ///< fleet simulations charged
+    std::uint64_t offered = 0;     ///< requests arrived
+    std::uint64_t admitted = 0;    ///< requests past admission control
+    std::uint64_t shed = 0;        ///< admission + deadline sheds
+    std::uint64_t completed = 0;   ///< requests answered
+    std::uint64_t goodput = 0;     ///< answered within their deadline
+    std::uint64_t retries = 0;     ///< re-dispatches after failures
+    std::uint64_t hedges = 0;      ///< hedged duplicates issued
+    std::uint64_t replicaFailures = 0;
+    std::uint64_t failovers = 0;   ///< warm spares activated
+    std::uint64_t autoscaleUps = 0;
+    std::uint64_t checkpointsSaved = 0;
+};
+
+/** Accumulate @p delta into the process-wide serving totals. */
+void chargeServing(const ServingCounters &delta);
+
+/** Point-in-time copy of the serving totals. */
+ServingCounters servingTotals();
+
+/** Zero the serving totals (tests isolate themselves with this). */
+void resetServingTotals();
+
 /** Accumulate @p delta into the process-wide kernel totals. */
 void chargeKernel(const KernelCounters &delta);
 

@@ -1,0 +1,1134 @@
+/**
+ * @file
+ * The fleet serving state machine — a des::Kernel client.
+ *
+ * Discipline mirrors cluster/elastic_run: the engine is a pure
+ * function of (immutable inputs, ServingState); every mutation lives
+ * in the ServingState, every cost is serial double arithmetic, and
+ * nothing reads the wall clock or thread count — which is what makes
+ * kill-and-resume byte-identical and lets bench_serving --chaos
+ * enforce it with real SIGKILLs.
+ *
+ * Each decision instant t is a chain of kernel events tie-broken by
+ * priority: quiescent marker (0) whose hook takes the cadenced
+ * on-disk checkpoint, fault poll (1, ONE due fault per dispatch,
+ * self-re-arming), then the step (2). The step processes — in a fixed
+ * order — completions, replica spin-ups, due arrivals (admission
+ * control), hedge checks, the autoscaler, and dispatch over idle
+ * replicas in index order, then arms the next chain at the earliest
+ * future decision instant. armStep() advances s.simTimeSec *before*
+ * scheduling, so the state a quiescent save captures says "chain at t
+ * not yet run": a resumed run re-enters at t and replays the fault
+ * poll and step exactly as the uninterrupted run dispatched them.
+ */
+
+#include "serving/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "des/kernel.hh"
+#include "obs/tracer.hh"
+#include "resilience/checkpoint.hh"
+#include "runtime/perf_stats.hh"
+
+namespace ascend {
+namespace serving {
+
+using resilience::CheckpointStore;
+using resilience::FaultEvent;
+using resilience::FaultKind;
+using resilience::FaultSchedule;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Longest list the state loader accepts (corrupt counts must not OOM). */
+constexpr std::uint64_t kMaxListLen = std::uint64_t(1) << 24;
+
+void
+putBits(std::string &s, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    s += std::to_string(bits);
+    s += ',';
+}
+
+void
+putU64(std::string &s, std::uint64_t v)
+{
+    s += std::to_string(v);
+    s += ',';
+}
+
+std::string
+formatSeconds(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9e", v);
+    return buf;
+}
+
+/** One queued (or in-flight) request instance. */
+struct PendingRequest
+{
+    std::uint64_t id = 0;
+    std::uint32_t tier = 0;
+    double arrivalSec = 0;
+    double deadlineSec = 0; ///< absolute SLO instant
+    std::uint32_t attempt = 0; ///< failure re-dispatches so far
+    double eligibleSec = 0; ///< earliest dispatch (retry backoff)
+    std::uint8_t hedged = 0; ///< participates in first-wins dedup
+    std::uint8_t copy = 0;   ///< 1 = hedge duplicate, not the original
+};
+
+enum ReplicaStatus : std::uint32_t {
+    kIdle = 0,
+    kBusy = 1,
+    kSpinningUp = 2,
+    kDead = 3,
+};
+
+/** One replica slot (failover reuses the slot, autoscale appends). */
+struct ReplicaState
+{
+    std::uint32_t status = kIdle;
+    double readyAtSec = 0;    ///< SpinningUp only
+    double busyUntilSec = 0;  ///< Busy only
+    double dispatchedSec = 0; ///< Busy only
+    double stragglerFactor = 1.0;
+    double stragglerUntilSec = 0; ///< kInf = for the whole run
+    std::uint8_t hedgeIssued = 0; ///< for the current dispatch
+    std::vector<PendingRequest> batch; ///< in-flight requests
+};
+
+/** Complete engine state at one chain boundary. */
+struct ServingState
+{
+    std::uint64_t sequence = 0; ///< checkpoint ordinal
+    double simTimeSec = 0;      ///< chain instant (head not yet run)
+    std::uint64_t arrivalCursor = 0;
+    std::uint64_t faultCursor = 0;
+    std::uint64_t sparesLeft = 0;
+    std::uint64_t scaleUpsLeft = 0;
+    double nextAutoscaleSec = 0;
+    double lastCheckpointSec = -1;
+
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t goodput = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t hedges = 0;
+    std::uint64_t replicaFailures = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t autoscaleUps = 0;
+    std::uint64_t checkpointsSaved = 0;
+
+    std::vector<PendingRequest> queue;
+    std::vector<ReplicaState> replicas;
+    std::vector<std::uint64_t> hedgedIds;  ///< sorted: ids with copies
+    std::vector<std::uint64_t> hedgedDone; ///< sorted: winner answered
+    std::vector<double> latencies; ///< every completed request
+    std::string eventLog;
+};
+
+void
+writeU64(std::string &buf, std::uint64_t v)
+{
+    char raw[sizeof(v)];
+    std::memcpy(raw, &v, sizeof(v));
+    buf.append(raw, sizeof(v));
+}
+
+void
+writeDouble(std::string &buf, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(v));
+    writeU64(buf, bits);
+}
+
+struct Reader
+{
+    const std::string &data;
+    std::size_t pos = 0;
+
+    bool
+    readU64(std::uint64_t &v)
+    {
+        if (data.size() - pos < sizeof(v))
+            return false;
+        std::memcpy(&v, data.data() + pos, sizeof(v));
+        pos += sizeof(v);
+        return true;
+    }
+
+    bool
+    readDouble(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!readU64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+
+    bool
+    readCount(std::uint64_t &n)
+    {
+        return readU64(n) && n <= kMaxListLen;
+    }
+};
+
+void
+writeRequest(std::string &buf, const PendingRequest &r)
+{
+    writeU64(buf, r.id);
+    writeU64(buf, r.tier);
+    writeDouble(buf, r.arrivalSec);
+    writeDouble(buf, r.deadlineSec);
+    writeU64(buf, r.attempt);
+    writeDouble(buf, r.eligibleSec);
+    writeU64(buf, (std::uint64_t(r.hedged) << 1) | r.copy);
+}
+
+bool
+readRequest(Reader &rd, PendingRequest &r)
+{
+    std::uint64_t tier = 0, attempt = 0, flags = 0;
+    if (!rd.readU64(r.id) || !rd.readU64(tier) ||
+        !rd.readDouble(r.arrivalSec) || !rd.readDouble(r.deadlineSec) ||
+        !rd.readU64(attempt) || !rd.readDouble(r.eligibleSec) ||
+        !rd.readU64(flags))
+        return false;
+    r.tier = std::uint32_t(tier);
+    r.attempt = std::uint32_t(attempt);
+    r.hedged = std::uint8_t((flags >> 1) & 1);
+    r.copy = std::uint8_t(flags & 1);
+    return true;
+}
+
+/** Field-wise serialization of the whole state (blob payload). */
+std::string
+serializeState(const ServingState &s)
+{
+    std::string buf;
+    buf.reserve(256 + s.queue.size() * 56 + s.replicas.size() * 72 +
+                s.latencies.size() * 8 + s.eventLog.size());
+    writeU64(buf, s.sequence);
+    writeDouble(buf, s.simTimeSec);
+    writeU64(buf, s.arrivalCursor);
+    writeU64(buf, s.faultCursor);
+    writeU64(buf, s.sparesLeft);
+    writeU64(buf, s.scaleUpsLeft);
+    writeDouble(buf, s.nextAutoscaleSec);
+    writeDouble(buf, s.lastCheckpointSec);
+    writeU64(buf, s.offered);
+    writeU64(buf, s.admitted);
+    writeU64(buf, s.shed);
+    writeU64(buf, s.completed);
+    writeU64(buf, s.goodput);
+    writeU64(buf, s.retries);
+    writeU64(buf, s.hedges);
+    writeU64(buf, s.replicaFailures);
+    writeU64(buf, s.failovers);
+    writeU64(buf, s.autoscaleUps);
+    writeU64(buf, s.checkpointsSaved);
+    writeU64(buf, s.queue.size());
+    for (const PendingRequest &r : s.queue)
+        writeRequest(buf, r);
+    writeU64(buf, s.replicas.size());
+    for (const ReplicaState &r : s.replicas) {
+        writeU64(buf, r.status);
+        writeDouble(buf, r.readyAtSec);
+        writeDouble(buf, r.busyUntilSec);
+        writeDouble(buf, r.dispatchedSec);
+        writeDouble(buf, r.stragglerFactor);
+        writeDouble(buf, r.stragglerUntilSec);
+        writeU64(buf, r.hedgeIssued);
+        writeU64(buf, r.batch.size());
+        for (const PendingRequest &b : r.batch)
+            writeRequest(buf, b);
+    }
+    writeU64(buf, s.hedgedIds.size());
+    for (std::uint64_t id : s.hedgedIds)
+        writeU64(buf, id);
+    writeU64(buf, s.hedgedDone.size());
+    for (std::uint64_t id : s.hedgedDone)
+        writeU64(buf, id);
+    writeU64(buf, s.latencies.size());
+    for (double v : s.latencies)
+        writeDouble(buf, v);
+    writeU64(buf, s.eventLog.size());
+    buf += s.eventLog;
+    return buf;
+}
+
+bool
+deserializeState(const std::string &payload, ServingState &out)
+{
+    Reader rd{payload};
+    ServingState s;
+    std::uint64_t n = 0;
+    if (!rd.readU64(s.sequence) || !rd.readDouble(s.simTimeSec) ||
+        !rd.readU64(s.arrivalCursor) || !rd.readU64(s.faultCursor) ||
+        !rd.readU64(s.sparesLeft) || !rd.readU64(s.scaleUpsLeft) ||
+        !rd.readDouble(s.nextAutoscaleSec) ||
+        !rd.readDouble(s.lastCheckpointSec) || !rd.readU64(s.offered) ||
+        !rd.readU64(s.admitted) || !rd.readU64(s.shed) ||
+        !rd.readU64(s.completed) || !rd.readU64(s.goodput) ||
+        !rd.readU64(s.retries) || !rd.readU64(s.hedges) ||
+        !rd.readU64(s.replicaFailures) || !rd.readU64(s.failovers) ||
+        !rd.readU64(s.autoscaleUps) || !rd.readU64(s.checkpointsSaved))
+        return false;
+    if (!rd.readCount(n))
+        return false;
+    s.queue.resize(std::size_t(n));
+    for (PendingRequest &r : s.queue)
+        if (!readRequest(rd, r))
+            return false;
+    if (!rd.readCount(n))
+        return false;
+    s.replicas.resize(std::size_t(n));
+    for (ReplicaState &r : s.replicas) {
+        std::uint64_t status = 0, hedged = 0, batch = 0;
+        if (!rd.readU64(status) || !rd.readDouble(r.readyAtSec) ||
+            !rd.readDouble(r.busyUntilSec) ||
+            !rd.readDouble(r.dispatchedSec) ||
+            !rd.readDouble(r.stragglerFactor) ||
+            !rd.readDouble(r.stragglerUntilSec) ||
+            !rd.readU64(hedged) || !rd.readCount(batch))
+            return false;
+        r.status = std::uint32_t(status);
+        r.hedgeIssued = std::uint8_t(hedged);
+        r.batch.resize(std::size_t(batch));
+        for (PendingRequest &b : r.batch)
+            if (!readRequest(rd, b))
+                return false;
+    }
+    if (!rd.readCount(n))
+        return false;
+    s.hedgedIds.resize(std::size_t(n));
+    for (std::uint64_t &id : s.hedgedIds)
+        if (!rd.readU64(id))
+            return false;
+    if (!rd.readCount(n))
+        return false;
+    s.hedgedDone.resize(std::size_t(n));
+    for (std::uint64_t &id : s.hedgedDone)
+        if (!rd.readU64(id))
+            return false;
+    if (!rd.readCount(n))
+        return false;
+    s.latencies.resize(std::size_t(n));
+    for (double &v : s.latencies)
+        if (!rd.readDouble(v))
+            return false;
+    if (!rd.readU64(n) || n > payload.size() - rd.pos)
+        return false;
+    s.eventLog.assign(payload.data() + rd.pos, std::size_t(n));
+    rd.pos += std::size_t(n);
+    if (rd.pos != payload.size())
+        return false;
+    out = std::move(s);
+    return true;
+}
+
+bool
+sortedContains(const std::vector<std::uint64_t> &v, std::uint64_t id)
+{
+    return std::binary_search(v.begin(), v.end(), id);
+}
+
+void
+sortedInsert(std::vector<std::uint64_t> &v, std::uint64_t id)
+{
+    const auto it = std::lower_bound(v.begin(), v.end(), id);
+    if (it == v.end() || *it != id)
+        v.insert(it, id);
+}
+
+/** Dispatch order: tightest deadline first, then stable identity. */
+bool
+requestBefore(const PendingRequest &a, const PendingRequest &b)
+{
+    if (a.deadlineSec != b.deadlineSec)
+        return a.deadlineSec < b.deadlineSec;
+    if (a.id != b.id)
+        return a.id < b.id;
+    if (a.attempt != b.attempt)
+        return a.attempt < b.attempt;
+    return a.copy < b.copy;
+}
+
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank = q * double(sorted.size());
+    std::size_t idx = std::size_t(std::ceil(rank));
+    idx = idx > 0 ? idx - 1 : 0;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/** The engine: immutable inputs + kernel + checkpointable state. */
+struct FleetEngine
+{
+    FleetEngine(const std::vector<Request> &arrivals_,
+                const std::vector<QosTier> &tiers_,
+                const BatchLatencyModel &model_,
+                const FaultSchedule &faults_,
+                const FleetOptions &options_)
+        : arrivals(arrivals_), tiers(tiers_), model(model_),
+          faults(faults_), options(options_)
+    {
+    }
+
+    const std::vector<Request> &arrivals;
+    const std::vector<QosTier> &tiers;
+    const BatchLatencyModel &model;
+    const FaultSchedule &faults;
+    const FleetOptions &options;
+
+    std::vector<FaultEvent> faultEvents; ///< core-kind, time-sorted
+    std::string runId;
+    double serviceLatencySec = 0;
+    unsigned maxBatch = 1;
+
+    std::unique_ptr<CheckpointStore> store;
+    ServingState s;
+    std::uint64_t eventIndex = 0; ///< lines in s.eventLog
+    unsigned eventsSeen = 0;      ///< this process only (halt hook)
+    bool haltRequested = false;
+    std::optional<FleetResult> final_;
+
+    void
+    setUp()
+    {
+        simAssert(options.replicas > 0,
+                  "a fleet needs at least one replica");
+        simAssert(!tiers.empty(), "a fleet needs at least one tier");
+        for (const Request &r : arrivals)
+            simAssert(r.tier < tiers.size(),
+                      "request tier out of range");
+        for (const FaultEvent &e : faults.events())
+            if (e.kind == FaultKind::CorePermanent ||
+                e.kind == FaultKind::CoreTransient ||
+                e.kind == FaultKind::CoreStraggler)
+                faultEvents.push_back(e);
+        maxBatch = model.maxBatch();
+        // Service-time term of the admission estimate: under the
+        // overload that makes admission matter, a request rides a
+        // near-full batch, so the full-batch latency is the honest
+        // estimate (the single-request latency undercounts and lets
+        // through requests that then complete past their deadline).
+        serviceLatencySec = model.latencySeconds(maxBatch);
+
+        runId = runFingerprint(arrivals, tiers, model, faults,
+                               options);
+        s.replicas.resize(options.replicas);
+        s.sparesLeft = options.warmSpares;
+        s.scaleUpsLeft =
+            options.autoscale.enabled
+                ? options.autoscale.maxExtraReplicas : 0;
+        s.nextAutoscaleSec = options.autoscale.checkIntervalSec;
+
+        if (!options.checkpointDir.empty()) {
+            store = std::make_unique<CheckpointStore>(
+                options.checkpointDir, "serving");
+            std::string payload;
+            ServingState loaded;
+            if (store->loadBlob(payload, runId) &&
+                deserializeState(payload, loaded))
+                s = std::move(loaded);
+        }
+        for (char c : s.eventLog)
+            if (c == '\n')
+                ++eventIndex;
+    }
+
+    void
+    appendEvent(const std::string &line)
+    {
+        s.eventLog += line;
+        s.eventLog += '\n';
+        ++eventIndex;
+        ++eventsSeen;
+        if (options.onEvent)
+            options.onEvent(line);
+        if (options.haltAfterEvents &&
+            eventsSeen >= options.haltAfterEvents)
+            haltRequested = true;
+    }
+
+    std::string
+    eventPrefix() const
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "[e%05llu] t=%s ",
+                      static_cast<unsigned long long>(eventIndex),
+                      formatSeconds(s.simTimeSec).c_str());
+        return buf;
+    }
+
+    unsigned
+    aliveReplicas() const
+    {
+        unsigned n = 0;
+        for (const ReplicaState &r : s.replicas)
+            if (r.status != kDead)
+                ++n;
+        return n;
+    }
+
+    /** Take the cadenced on-disk checkpoint (quiescent hook body). */
+    void
+    maybeCheckpoint()
+    {
+        if (haltRequested || !store)
+            return;
+        if (s.lastCheckpointSec >= 0 &&
+            s.simTimeSec - s.lastCheckpointSec <
+                options.checkpointIntervalSec)
+            return;
+        ++s.sequence;
+        ++s.checkpointsSaved;
+        s.lastCheckpointSec = s.simTimeSec;
+        appendEvent(eventPrefix() + "checkpoint seq " +
+                    std::to_string(static_cast<unsigned long long>(
+                        s.sequence)));
+        store->saveBlob(runId, serializeState(s));
+    }
+
+    /**
+     * Re-queue an in-flight request its replica lost. Retry number
+     * attempt is launched only while RetryPolicy permits it — with
+     * giveUpAfterSeconds wired to the tier deadline, a request whose
+     * cumulative retry delay cannot fit its SLO is abandoned instead
+     * of burning capacity (counted as shed).
+     */
+    void
+    requeueLost(const PendingRequest &req, double t)
+    {
+        if (req.hedged && sortedContains(s.hedgedDone, req.id))
+            return; // its twin already answered
+        resilience::RetryPolicy policy = options.retry;
+        policy.giveUpAfterSeconds = tiers[req.tier].deadlineSec;
+        if (!resilience::retryPermitted(policy, req.attempt)) {
+            if (!req.copy)
+                ++s.shed;
+            return;
+        }
+        PendingRequest r = req;
+        r.eligibleSec = t + policy.timeoutSec +
+                        resilience::retryDelaySeconds(policy,
+                                                      req.attempt);
+        ++r.attempt;
+        ++s.retries;
+        s.queue.push_back(r);
+    }
+
+    /** Apply the single next due fault (one poll dispatch's worth). */
+    void
+    applyOneFault(double t)
+    {
+        const FaultEvent e = faultEvents[s.faultCursor++];
+        if (e.target >= s.replicas.size())
+            return; // outside the fleet
+        ReplicaState &r = s.replicas[e.target];
+        if (r.status == kDead)
+            return;
+        switch (e.kind) {
+          case FaultKind::CorePermanent: {
+            ++s.replicaFailures;
+            for (const PendingRequest &req : r.batch)
+                requeueLost(req, t);
+            r.batch.clear();
+            r.hedgeIssued = 0;
+            if (s.sparesLeft > 0) {
+                --s.sparesLeft;
+                ++s.failovers;
+                r.status = kSpinningUp;
+                r.readyAtSec = t + options.failoverSec;
+                r.stragglerFactor = 1.0;
+                r.stragglerUntilSec = 0;
+                appendEvent(eventPrefix() + "failover replica " +
+                            std::to_string(e.target) + " ready " +
+                            formatSeconds(r.readyAtSec));
+            } else {
+                r.status = kDead;
+                appendEvent(eventPrefix() + "replica " +
+                            std::to_string(e.target) + " dead");
+            }
+            break;
+          }
+          case FaultKind::CoreTransient: {
+            ++s.replicaFailures;
+            for (const PendingRequest &req : r.batch)
+                requeueLost(req, t);
+            r.batch.clear();
+            r.hedgeIssued = 0;
+            r.status = kSpinningUp;
+            r.readyAtSec = t + e.durationSec;
+            appendEvent(eventPrefix() + "replica " +
+                        std::to_string(e.target) + " outage until " +
+                        formatSeconds(r.readyAtSec));
+            break;
+          }
+          case FaultKind::CoreStraggler: {
+            r.stragglerFactor = e.severity;
+            r.stragglerUntilSec =
+                e.durationSec > 0 ? t + e.durationSec : kInf;
+            appendEvent(eventPrefix() + "replica " +
+                        std::to_string(e.target) + " straggles x" +
+                        formatSeconds(e.severity));
+            break;
+          }
+          default:
+            break; // link/ECC faults do not apply to stateless replicas
+        }
+    }
+
+    /** Record one answered request (hedged copies dedup first-wins). */
+    void
+    complete(const PendingRequest &req, double t)
+    {
+        if (req.hedged) {
+            if (sortedContains(s.hedgedDone, req.id))
+                return; // the losing copy
+            sortedInsert(s.hedgedDone, req.id);
+        }
+        ++s.completed;
+        const double latency = t - req.arrivalSec;
+        s.latencies.push_back(latency);
+        if (t <= req.deadlineSec)
+            ++s.goodput;
+    }
+
+    /**
+     * Admission control at the front door. Sheds when the queue is
+     * full, or when a sheddable request's estimated completion
+     * (queue-drain at full-batch service rate plus one service time)
+     * cannot meet its deadline.
+     */
+    void
+    admit(const Request &arrival)
+    {
+        ++s.offered;
+        const QosTier &tier = tiers[arrival.tier];
+        if (options.admission.enabled) {
+            if (options.admission.queueCapacity &&
+                s.queue.size() >= options.admission.queueCapacity) {
+                ++s.shed;
+                return;
+            }
+            if (tier.sheddable) {
+                const unsigned alive = aliveReplicas();
+                const double rate =
+                    alive ? double(alive) * double(maxBatch) /
+                                model.latencySeconds(maxBatch)
+                          : 0;
+                const double wait =
+                    rate > 0 ? double(s.queue.size()) / rate : kInf;
+                if (wait + serviceLatencySec >
+                    tier.deadlineSec * options.admission.slackFactor) {
+                    ++s.shed;
+                    return;
+                }
+            }
+        }
+        ++s.admitted;
+        PendingRequest r;
+        r.id = arrival.id;
+        r.tier = arrival.tier;
+        r.arrivalSec = arrival.arrivalSec;
+        r.deadlineSec = arrival.arrivalSec + tier.deadlineSec;
+        r.eligibleSec = arrival.arrivalSec;
+        s.queue.push_back(r);
+    }
+
+    /**
+     * Hedge a straggling dispatch: duplicates of its unanswered
+     * requests re-enter the queue; first completion wins.
+     */
+    void
+    hedgeDispatch(unsigned idx, double t)
+    {
+        ReplicaState &r = s.replicas[idx];
+        r.hedgeIssued = 1;
+        unsigned copies = 0;
+        for (PendingRequest &req : r.batch) {
+            if (sortedContains(s.hedgedDone, req.id))
+                continue;
+            req.hedged = 1;
+            sortedInsert(s.hedgedIds, req.id);
+            PendingRequest dup = req;
+            dup.copy = 1;
+            dup.eligibleSec = t;
+            s.queue.push_back(dup);
+            ++copies;
+            ++s.hedges;
+        }
+        if (copies)
+            appendEvent(eventPrefix() + "hedge replica " +
+                        std::to_string(idx) + " copies " +
+                        std::to_string(copies));
+    }
+
+    /**
+     * Drop queue entries that can no longer matter: losing hedge
+     * copies, and — when shedding is on — requests already past
+     * their deadline (the expired-at-dispatch drop).
+     */
+    void
+    purgeQueue(double t)
+    {
+        std::vector<PendingRequest> kept;
+        kept.reserve(s.queue.size());
+        for (const PendingRequest &req : s.queue) {
+            if (req.hedged && sortedContains(s.hedgedDone, req.id))
+                continue;
+            if (options.admission.enabled && t > req.deadlineSec) {
+                if (!req.copy)
+                    ++s.shed;
+                continue;
+            }
+            kept.push_back(req);
+        }
+        s.queue.swap(kept);
+    }
+
+    /**
+     * Form one batch for replica @p idx from the eligible queue.
+     * MPAM-style reservation first — each tier gets up to its
+     * reservedSlots before the remainder fills by deadline order —
+     * so a burst of sheddable traffic cannot starve the guaranteed
+     * tier out of every batch.
+     */
+    void
+    dispatchReplica(unsigned idx, double t)
+    {
+        ReplicaState &r = s.replicas[idx];
+        std::vector<PendingRequest> eligible, waiting;
+        for (const PendingRequest &req : s.queue)
+            (req.eligibleSec <= t ? eligible : waiting)
+                .push_back(req);
+        if (eligible.empty())
+            return;
+        std::stable_sort(eligible.begin(), eligible.end(),
+                         requestBefore);
+
+        std::vector<char> taken(eligible.size(), 0);
+        std::vector<PendingRequest> batch;
+        for (std::uint32_t ti = 0;
+             ti < std::uint32_t(tiers.size()) &&
+             batch.size() < maxBatch;
+             ++ti) {
+            unsigned got = 0;
+            for (std::size_t i = 0; i < eligible.size() &&
+                                    got < tiers[ti].reservedSlots &&
+                                    batch.size() < maxBatch;
+                 ++i) {
+                if (taken[i] || eligible[i].tier != ti)
+                    continue;
+                taken[i] = 1;
+                batch.push_back(eligible[i]);
+                ++got;
+            }
+        }
+        for (std::size_t i = 0;
+             i < eligible.size() && batch.size() < maxBatch; ++i) {
+            if (taken[i])
+                continue;
+            taken[i] = 1;
+            batch.push_back(eligible[i]);
+        }
+
+        for (std::size_t i = 0; i < eligible.size(); ++i)
+            if (!taken[i])
+                waiting.push_back(eligible[i]);
+        s.queue.swap(waiting);
+
+        const double factor =
+            t < r.stragglerUntilSec ? r.stragglerFactor : 1.0;
+        r.status = kBusy;
+        r.dispatchedSec = t;
+        r.busyUntilSec =
+            t + model.latencySeconds(unsigned(batch.size())) * factor;
+        r.hedgeIssued = 0;
+        r.batch = std::move(batch);
+        if (obs::Tracer *tracer = obs::Tracer::current()) {
+            const auto ns = [](double sec) {
+                return std::uint64_t(std::llround(sec * 1e9));
+            };
+            tracer->span(obs::Domain::Serving, idx + 2,
+                         "serving.batch", ns(t),
+                         ns(r.busyUntilSec) - ns(t),
+                         r.batch.size());
+        }
+    }
+
+    /** Earliest future decision instant (kInf = nothing left). */
+    double
+    nextInstant(double t) const
+    {
+        double next = kInf;
+        if (s.arrivalCursor < arrivals.size())
+            next = std::min(next,
+                            arrivals[s.arrivalCursor].arrivalSec);
+        if (s.faultCursor < faultEvents.size())
+            next = std::min(next,
+                            faultEvents[s.faultCursor].timeSec);
+        for (const ReplicaState &r : s.replicas) {
+            if (r.status == kBusy) {
+                next = std::min(next, r.busyUntilSec);
+                if (options.hedge.enabled && !r.hedgeIssued) {
+                    const double h =
+                        r.dispatchedSec + options.hedge.afterSec;
+                    if (h < r.busyUntilSec)
+                        next = std::min(next, h);
+                }
+            } else if (r.status == kSpinningUp) {
+                next = std::min(next, r.readyAtSec);
+            }
+        }
+        for (const PendingRequest &req : s.queue)
+            if (req.eligibleSec > t)
+                next = std::min(next, req.eligibleSec);
+        if (options.autoscale.enabled && !s.queue.empty() &&
+            s.scaleUpsLeft > 0)
+            next = std::min(next, std::max(s.nextAutoscaleSec, t));
+        return next;
+    }
+
+    /** True when no request can ever be answered again. */
+    bool
+    fleetDoomed() const
+    {
+        return aliveReplicas() == 0 && s.sparesLeft == 0 &&
+               s.scaleUpsLeft == 0;
+    }
+
+    /** Arm the chain at @p t: quiescent(0), fault poll(1), step(2). */
+    void
+    armStep(des::Kernel &k, double t)
+    {
+        s.simTimeSec = t;
+        k.scheduleQuiescent(t, 0);
+        k.schedule(t, 1, "serving.poll-faults",
+                   [this](des::Kernel &kk) { pollFaults(kk); });
+        k.schedule(t, 2, "serving.step",
+                   [this](des::Kernel &kk) { stepOnce(kk); });
+    }
+
+    /** Fault poll event: ONE due fault, re-arm while more are due. */
+    void
+    pollFaults(des::Kernel &k)
+    {
+        if (haltRequested) {
+            final_ = result();
+            k.stop();
+            return;
+        }
+        if (s.faultCursor < faultEvents.size() &&
+            faultEvents[s.faultCursor].timeSec <= s.simTimeSec) {
+            applyOneFault(s.simTimeSec);
+            k.schedule(k.now(), 1, "serving.poll-faults",
+                       [this](des::Kernel &kk) { pollFaults(kk); });
+        }
+    }
+
+    /** The step event: one decision instant, then re-arm or finish. */
+    void
+    stepOnce(des::Kernel &k)
+    {
+        if (haltRequested) {
+            final_ = result();
+            k.stop();
+            return;
+        }
+        const double t = s.simTimeSec;
+
+        // Completions first: capacity freed at t serves requests
+        // arriving at the same instant.
+        for (ReplicaState &r : s.replicas) {
+            if (r.status != kBusy || r.busyUntilSec > t)
+                continue;
+            for (const PendingRequest &req : r.batch)
+                complete(req, t);
+            r.batch.clear();
+            r.status = kIdle;
+            r.hedgeIssued = 0;
+        }
+        for (ReplicaState &r : s.replicas)
+            if (r.status == kSpinningUp && r.readyAtSec <= t)
+                r.status = kIdle;
+        while (s.arrivalCursor < arrivals.size() &&
+               arrivals[s.arrivalCursor].arrivalSec <= t)
+            admit(arrivals[s.arrivalCursor++]);
+        if (options.hedge.enabled) {
+            for (unsigned i = 0; i < unsigned(s.replicas.size());
+                 ++i) {
+                ReplicaState &r = s.replicas[i];
+                if (r.status == kBusy && !r.hedgeIssued &&
+                    t >= r.dispatchedSec + options.hedge.afterSec)
+                    hedgeDispatch(i, t);
+            }
+        }
+        if (options.autoscale.enabled && t >= s.nextAutoscaleSec) {
+            if (s.scaleUpsLeft > 0 &&
+                s.queue.size() >
+                    options.autoscale.queueDepthPerReplica *
+                        std::size_t(aliveReplicas())) {
+                --s.scaleUpsLeft;
+                ++s.autoscaleUps;
+                ReplicaState fresh;
+                fresh.status = kSpinningUp;
+                fresh.readyAtSec = t + options.autoscale.spinUpSec;
+                s.replicas.push_back(fresh);
+                appendEvent(eventPrefix() + "autoscale to " +
+                            std::to_string(s.replicas.size()) +
+                            " replicas ready " +
+                            formatSeconds(fresh.readyAtSec));
+            }
+            s.nextAutoscaleSec =
+                t + options.autoscale.checkIntervalSec;
+        }
+
+        if (fleetDoomed()) {
+            // Nothing can serve again: account every queued and
+            // future request as shed and drain.
+            std::uint64_t lost = 0;
+            for (const PendingRequest &req : s.queue)
+                if (!req.copy)
+                    ++lost;
+            s.shed += lost;
+            s.queue.clear();
+            const std::uint64_t remaining =
+                arrivals.size() - s.arrivalCursor;
+            s.offered += remaining;
+            s.shed += remaining;
+            s.arrivalCursor = arrivals.size();
+            appendEvent(eventPrefix() + "fleet dead, dropped " +
+                        std::to_string(static_cast<unsigned long long>(
+                            lost + remaining)));
+            if (haltRequested) {
+                final_ = result();
+                k.stop();
+                return;
+            }
+            final_ = finish();
+            return;
+        }
+
+        purgeQueue(t);
+        for (unsigned i = 0; i < unsigned(s.replicas.size()); ++i) {
+            if (s.replicas[i].status != kIdle || s.queue.empty())
+                continue;
+            dispatchReplica(i, t);
+        }
+        if (obs::Tracer *tracer = obs::Tracer::current())
+            tracer->counter(obs::Domain::Serving, "serving.queue",
+                            std::uint64_t(std::llround(t * 1e9)),
+                            double(s.queue.size()));
+
+        if (haltRequested) {
+            final_ = result();
+            k.stop();
+            return;
+        }
+
+        const double next = nextInstant(t);
+        if (next == kInf) {
+            final_ = finish();
+            return;
+        }
+        simAssert(next > t,
+                  "serving chain must advance the sim clock");
+        armStep(k, next);
+    }
+
+    /** Snapshot counters into a result (shared by halt and finish). */
+    FleetResult
+    result() const
+    {
+        FleetResult r;
+        r.offered = s.offered;
+        r.admitted = s.admitted;
+        r.shed = s.shed;
+        r.completed = s.completed;
+        r.goodput = s.goodput;
+        r.retries = s.retries;
+        r.hedges = s.hedges;
+        r.replicaFailures = s.replicaFailures;
+        r.failovers = s.failovers;
+        r.autoscaleUps = s.autoscaleUps;
+        r.checkpointsSaved = s.checkpointsSaved;
+        r.halted = haltRequested;
+        r.makespanSec = s.simTimeSec;
+        r.latencies = s.latencies;
+        r.eventLog = s.eventLog;
+        std::vector<double> sorted = s.latencies;
+        std::sort(sorted.begin(), sorted.end());
+        r.p50 = percentile(sorted, 0.50);
+        r.p99 = percentile(sorted, 0.99);
+        r.p999 = percentile(sorted, 0.999);
+        return r;
+    }
+
+    /** Natural completion: charge totals, drop the checkpoint file. */
+    FleetResult
+    finish()
+    {
+        FleetResult r = result();
+        if (store)
+            store->remove();
+        runtime::ServingCounters delta;
+        delta.servingRuns = 1;
+        delta.offered = r.offered;
+        delta.admitted = r.admitted;
+        delta.shed = r.shed;
+        delta.completed = r.completed;
+        delta.goodput = r.goodput;
+        delta.retries = r.retries;
+        delta.hedges = r.hedges;
+        delta.replicaFailures = r.replicaFailures;
+        delta.failovers = r.failovers;
+        delta.autoscaleUps = r.autoscaleUps;
+        delta.checkpointsSaved = r.checkpointsSaved;
+        runtime::chargeServing(delta);
+        if (obs::Tracer *tracer = obs::Tracer::current())
+            tracer->span(obs::Domain::Serving, 1, "serving.run", 0,
+                         std::uint64_t(
+                             std::llround(r.makespanSec * 1e9)),
+                         r.completed);
+        return r;
+    }
+
+    FleetResult
+    run()
+    {
+        setUp();
+        des::Kernel kernel;
+        // Checkpoints ride the kernel's quiescent points: no event is
+        // mid-dispatch there, so the ServingState is consistent by
+        // construction.
+        kernel.onQuiescent(
+            [this](des::Kernel &) { maybeCheckpoint(); });
+        kernel.advanceTo(s.simTimeSec); // resumes re-enter mid-run
+        armStep(kernel, s.simTimeSec);
+        kernel.run();
+        simAssert(final_.has_value(),
+                  "serving kernel drained without a terminal state");
+        return *final_;
+    }
+};
+
+} // anonymous namespace
+
+std::string
+FleetResult::report() const
+{
+    std::ostringstream os;
+    os << "serving run: " << (halted ? "halted" : "completed")
+       << "\n";
+    os << "  makespan       " << formatSeconds(makespanSec) << "\n";
+    os << "  offered        " << offered << "\n";
+    os << "  admitted       " << admitted << "\n";
+    os << "  shed           " << shed << "\n";
+    os << "  completed      " << completed << "\n";
+    os << "  goodput        " << goodput << "\n";
+    os << "  retries        " << retries << "\n";
+    os << "  hedges         " << hedges << "\n";
+    os << "  failures       " << replicaFailures << "\n";
+    os << "  failovers      " << failovers << "\n";
+    os << "  autoscale ups  " << autoscaleUps << "\n";
+    os << "  checkpoints    " << checkpointsSaved << "\n";
+    os << "  p50            " << formatSeconds(p50) << "\n";
+    os << "  p99            " << formatSeconds(p99) << "\n";
+    os << "  p999           " << formatSeconds(p999) << "\n";
+    os << "events:\n" << eventLog;
+    return os.str();
+}
+
+std::string
+runFingerprint(const std::vector<Request> &arrivals,
+               const std::vector<QosTier> &tiers,
+               const BatchLatencyModel &model,
+               const resilience::FaultSchedule &faults,
+               const FleetOptions &options)
+{
+    std::string s;
+    s.reserve(512);
+    s += "serving-run:";
+    // Arrivals are pure data; fingerprint them exactly (FNV-1a over
+    // the packed stream keeps the id short).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const Request &r : arrivals) {
+        mix(r.id);
+        std::uint64_t bits;
+        std::memcpy(&bits, &r.arrivalSec, sizeof(bits));
+        mix(bits);
+        mix(r.tier);
+    }
+    putU64(s, arrivals.size());
+    putU64(s, h);
+    s += fingerprint(tiers);
+    s += model.fingerprint();
+    s += resilience::fingerprint(faults.spec());
+    s += "fleet:";
+    putU64(s, options.replicas);
+    putU64(s, options.warmSpares);
+    putBits(s, options.failoverSec);
+    putU64(s, options.admission.enabled ? 1 : 0);
+    putU64(s, options.admission.queueCapacity);
+    putBits(s, options.admission.slackFactor);
+    putU64(s, options.hedge.enabled ? 1 : 0);
+    putBits(s, options.hedge.afterSec);
+    putU64(s, options.autoscale.enabled ? 1 : 0);
+    putBits(s, options.autoscale.checkIntervalSec);
+    putU64(s, options.autoscale.queueDepthPerReplica);
+    putBits(s, options.autoscale.spinUpSec);
+    putU64(s, options.autoscale.maxExtraReplicas);
+    putU64(s, options.retry.maxRetries);
+    putBits(s, options.retry.timeoutSec);
+    putBits(s, options.retry.backoffBaseSec);
+    putBits(s, options.retry.backoffMultiplier);
+    putBits(s, options.retry.backoffCapSec);
+    putBits(s, options.retry.giveUpAfterSeconds);
+    putBits(s, options.checkpointIntervalSec);
+    return s;
+}
+
+FleetResult
+runFleet(const std::vector<Request> &arrivals,
+         const std::vector<QosTier> &tiers,
+         const BatchLatencyModel &model, const FaultSchedule &faults,
+         const FleetOptions &options)
+{
+    FleetEngine engine{arrivals, tiers, model, faults, options};
+    return engine.run();
+}
+
+} // namespace serving
+} // namespace ascend

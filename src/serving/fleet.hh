@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The overload-tolerant fleet serving simulator — a des::Kernel
+ * client.
+ *
+ * The paper's cluster story ends at training; its serving story
+ * (Section 2's "ubiquitous" deployment) is a fleet of inference
+ * replicas answering an open-loop request stream under SLOs. This
+ * engine models that fleet at the same fidelity the elastic trainer
+ * models a training run, with robustness as the first-class subject:
+ *
+ *  - admission control + deadline-aware shedding: under overload a
+ *    governed fleet drops the requests it cannot answer in time and
+ *    keeps goodput near saturation with bounded p99; an ungoverned
+ *    one queues without limit and every latency percentile diverges
+ *    (the shed/no-shed sweep bench_serving emits);
+ *  - per-request timeout/retry with capped exponential backoff
+ *    (resilience::RetryPolicy, giveUpAfterSeconds wired to the
+ *    request's QoS deadline) plus hedged duplicates against
+ *    straggling replicas — first completion wins;
+ *  - replica failure and warm-spare failover driven by a seeded
+ *    resilience::FaultSchedule; in-flight requests of a dead replica
+ *    re-enter the queue deterministically;
+ *  - a queue-depth autoscaler that spins up cold replicas with a
+ *    spin-up latency.
+ *
+ * Kernel client shape (same discipline as cluster/elastic_run): the
+ * engine is a pure function of (immutable inputs, ServingState).
+ * Every decision instant is a short chain of kernel events tie-broken
+ * by priority at one sim time — quiescent marker (0) whose hook takes
+ * the cadenced on-disk checkpoint, fault poll (1, ONE due fault per
+ * dispatch, self-re-arming), then the step (2): completions, admitted
+ * arrivals, hedge checks, autoscale, dispatch, and the re-arm at the
+ * next decision instant. Checkpoints are CheckpointStore blobs taken
+ * only at quiescent points, so a SIGKILL at any instant resumes into
+ * a byte-identical report — the property bench_serving --chaos
+ * enforces with real kills.
+ *
+ * Determinism contract: serial double arithmetic over the sorted
+ * arrival and fault lists; no wall clock, thread identity, or
+ * container-order iteration. Byte-identical at any ASCEND_THREADS.
+ */
+
+#ifndef ASCEND_SERVING_FLEET_HH
+#define ASCEND_SERVING_FLEET_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "resilience/fault_schedule.hh"
+#include "resilience/policy.hh"
+#include "serving/latency_model.hh"
+#include "serving/workload.hh"
+
+namespace ascend {
+namespace serving {
+
+/** Front-door overload governance. */
+struct AdmissionPolicy
+{
+    /**
+     * Master switch for *all* shedding: admission control and the
+     * expired-at-dispatch drop. Off = the ungoverned baseline — every
+     * request queues and eventually runs, however late.
+     */
+    bool enabled = true;
+
+    /** Queue slots; arrivals beyond this shed outright (0 = none). */
+    std::size_t queueCapacity = 0;
+
+    /**
+     * Shed a sheddable arrival when its estimated completion
+     * (queue-drain estimate plus a full-batch service time)
+     * exceeds deadline * slackFactor.
+     */
+    double slackFactor = 1.0;
+};
+
+/** Straggler hedging: duplicate a slow dispatch, first answer wins. */
+struct HedgePolicy
+{
+    bool enabled = false;
+
+    /**
+     * Hedge a dispatch still running this long after it started.
+     * Duplicates of its unanswered requests re-enter the queue; the
+     * losing copy's completion is discarded, never double-counted.
+     */
+    double afterSec = 0.05;
+};
+
+/** Queue-depth autoscaler with cold-start latency. */
+struct AutoscalePolicy
+{
+    bool enabled = false;
+    double checkIntervalSec = 0.05; ///< evaluation cadence
+    std::size_t queueDepthPerReplica = 8; ///< scale-up threshold
+    double spinUpSec = 0.2;  ///< cold replica readiness latency
+    unsigned maxExtraReplicas = 0; ///< scale-out budget
+};
+
+/** Knobs of one fleet run. */
+struct FleetOptions
+{
+    unsigned replicas = 4;    ///< initially-warm replicas
+    unsigned warmSpares = 0;  ///< failover pool
+    double failoverSec = 0.05; ///< spare activation latency
+
+    AdmissionPolicy admission;
+    HedgePolicy hedge;
+    AutoscalePolicy autoscale;
+
+    /**
+     * Retry discipline for requests lost to replica failure.
+     * giveUpAfterSeconds is overridden per request with its tier
+     * deadline (the serving wiring of the deadline budget).
+     */
+    resilience::RetryPolicy retry;
+
+    /** On-disk checkpoint cadence in sim time (0 = every quiescent). */
+    double checkpointIntervalSec = 0;
+
+    /**
+     * Directory for crash-consistent checkpoints; empty disables
+     * persistence. A valid checkpoint left by a killed run with the
+     * same fingerprint is resumed automatically; a completed run
+     * removes its file. Excluded from fingerprint().
+     */
+    std::string checkpointDir;
+
+    /**
+     * Test/chaos hook: stop (like a crash — checkpoint left on disk,
+     * nothing charged) after this many event-log lines. 0 = never.
+     * Excluded from fingerprint().
+     */
+    unsigned haltAfterEvents = 0;
+
+    /**
+     * Called with each event-log line as it is appended (the chaos
+     * harness flushes kill-point markers here). Excluded from
+     * fingerprint().
+     */
+    std::function<void(const std::string &line)> onEvent;
+};
+
+/** Outcome of one fleet run. */
+struct FleetResult
+{
+    std::uint64_t offered = 0;   ///< requests that arrived
+    std::uint64_t admitted = 0;  ///< past admission control
+    std::uint64_t shed = 0;      ///< admission + deadline drops
+    std::uint64_t completed = 0; ///< answered (however late)
+    std::uint64_t goodput = 0;   ///< answered within their deadline
+    std::uint64_t retries = 0;   ///< failure re-dispatches
+    std::uint64_t hedges = 0;    ///< hedge copies issued
+    std::uint64_t replicaFailures = 0;
+    std::uint64_t failovers = 0; ///< warm spares activated
+    std::uint64_t autoscaleUps = 0;
+    std::uint64_t checkpointsSaved = 0;
+
+    bool halted = false;    ///< true only via haltAfterEvents
+    double makespanSec = 0; ///< sim time when the fleet drained
+
+    /** Arrival-to-answer latency of every completed request. */
+    std::vector<double> latencies;
+
+    /// @{ Percentiles over latencies (0 when nothing completed).
+    double p50 = 0;
+    double p99 = 0;
+    double p999 = 0;
+    /// @}
+
+    /** One line per structural event, deterministic. */
+    std::string eventLog;
+
+    /**
+     * Deterministic multi-line report (summary + counters + event
+     * log). The byte-diff unit of the kill/resume contract.
+     */
+    std::string report() const;
+};
+
+/**
+ * Identity fingerprint of a run: every input that influences its
+ * output. Checkpoints carry it, and a stored blob written under any
+ * other identity is refused.
+ */
+std::string runFingerprint(const std::vector<Request> &arrivals,
+                           const std::vector<QosTier> &tiers,
+                           const BatchLatencyModel &model,
+                           const resilience::FaultSchedule &faults,
+                           const FleetOptions &options);
+
+/**
+ * Serve @p arrivals on a fleet of options.replicas replicas with
+ * per-batch cost @p model, reacting to @p faults (CorePermanent =
+ * replica death, CoreTransient = repairable outage, CoreStraggler =
+ * slowdown window; link/ECC kinds are ignored — replicas are
+ * stateless). Tier indices in @p arrivals must address @p tiers.
+ */
+FleetResult runFleet(const std::vector<Request> &arrivals,
+                     const std::vector<QosTier> &tiers,
+                     const BatchLatencyModel &model,
+                     const resilience::FaultSchedule &faults,
+                     const FleetOptions &options = {});
+
+} // namespace serving
+} // namespace ascend
+
+#endif // ASCEND_SERVING_FLEET_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Batch latency curve construction and interpolation.
+ */
+
+#include "serving/latency_model.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ascend {
+namespace serving {
+
+BatchLatencyModel
+BatchLatencyModel::fromPoints(
+    std::vector<std::pair<unsigned, double>> points)
+{
+    simAssert(!points.empty(),
+              "a latency curve needs at least one point");
+    std::sort(points.begin(), points.end());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        simAssert(points[i].first >= 1 && points[i].second > 0,
+                  "latency points need batch >= 1 and positive time");
+        simAssert(i == 0 || points[i].first > points[i - 1].first,
+                  "latency curve batches must be strictly increasing");
+        simAssert(i == 0 || points[i].second >= points[i - 1].second,
+                  "batch latency cannot shrink as the batch grows");
+    }
+    BatchLatencyModel m;
+    m.points_ = std::move(points);
+    return m;
+}
+
+BatchLatencyModel
+BatchLatencyModel::linear(double base_sec, double per_request_sec,
+                          unsigned max_batch)
+{
+    simAssert(base_sec > 0 && per_request_sec >= 0 && max_batch >= 1,
+              "linear latency curve needs positive base and batch");
+    std::vector<std::pair<unsigned, double>> pts;
+    pts.emplace_back(1, base_sec + per_request_sec);
+    if (max_batch > 1)
+        pts.emplace_back(max_batch,
+                         base_sec + per_request_sec * max_batch);
+    return fromPoints(std::move(pts));
+}
+
+BatchLatencyModel
+BatchLatencyModel::fromNetwork(
+    const runtime::SimSession &session,
+    const std::function<model::Network(unsigned)> &builder,
+    const std::vector<unsigned> &batches, double clock_ghz)
+{
+    simAssert(!batches.empty(), "need at least one anchor batch");
+    simAssert(clock_ghz > 0, "clock must be positive");
+    std::vector<std::pair<unsigned, double>> pts;
+    pts.reserve(batches.size());
+    for (unsigned b : batches) {
+        const core::SimResult r =
+            session.inferenceResult(builder(b));
+        pts.emplace_back(b, r.seconds(clock_ghz));
+    }
+    return fromPoints(std::move(pts));
+}
+
+double
+BatchLatencyModel::latencySeconds(unsigned batch) const
+{
+    simAssert(!points_.empty(), "latency model is empty");
+    const unsigned b = std::max(batch, 1u);
+    if (b <= points_.front().first)
+        return points_.front().second;
+    if (b >= points_.back().first)
+        return points_.back().second;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (b > points_[i].first)
+            continue;
+        const auto &[b0, t0] = points_[i - 1];
+        const auto &[b1, t1] = points_[i];
+        const double f = double(b - b0) / double(b1 - b0);
+        return t0 + f * (t1 - t0);
+    }
+    return points_.back().second; // unreachable
+}
+
+unsigned
+BatchLatencyModel::maxBatch() const
+{
+    simAssert(!points_.empty(), "latency model is empty");
+    return points_.back().first;
+}
+
+double
+BatchLatencyModel::saturationRequestsPerSec(unsigned replicas) const
+{
+    const unsigned b = maxBatch();
+    return double(replicas) * double(b) / latencySeconds(b);
+}
+
+std::string
+BatchLatencyModel::fingerprint() const
+{
+    std::string s;
+    s.reserve(16 + points_.size() * 32);
+    s += "latency:";
+    for (const auto &[b, t] : points_) {
+        s += std::to_string(b);
+        s += '=';
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(t));
+        std::memcpy(&bits, &t, sizeof(bits));
+        s += std::to_string(bits);
+        s += ',';
+    }
+    return s;
+}
+
+} // namespace serving
+} // namespace ascend

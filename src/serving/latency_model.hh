@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Batch-size -> inference-latency curves for the fleet simulator.
+ *
+ * A serving replica answers requests in batches; the only thing the
+ * fleet engine needs from the chip level is "how long does a batch of
+ * b take on one replica". This model is that curve: a handful of
+ * measured (batch, seconds) points with piecewise-linear
+ * interpolation between them.
+ *
+ * The measured points come from the repo's own chip simulator —
+ * fromNetwork() runs a batch-parameterized model-zoo network through
+ * a runtime::SimSession at each anchor batch size, so every sample is
+ * served from (or installed into) the content-addressed SimCache and
+ * the curve is byte-stable across runs and thread counts. linear()
+ * builds a synthetic curve for tests and chaos drills where the cost
+ * model is not the thing under test.
+ */
+
+#ifndef ASCEND_SERVING_LATENCY_MODEL_HH
+#define ASCEND_SERVING_LATENCY_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/network.hh"
+#include "runtime/sim_session.hh"
+
+namespace ascend {
+namespace serving {
+
+/** Per-replica batch latency curve (piecewise linear, monotone). */
+class BatchLatencyModel
+{
+  public:
+    BatchLatencyModel() = default;
+
+    /**
+     * Curve through explicit @p points (batch, seconds); sorted and
+     * validated (batches strictly increasing from >= 1, latencies
+     * positive and non-decreasing).
+     */
+    static BatchLatencyModel
+    fromPoints(std::vector<std::pair<unsigned, double>> points);
+
+    /** Synthetic affine curve: base + perRequest * batch. */
+    static BatchLatencyModel linear(double base_sec,
+                                    double per_request_sec,
+                                    unsigned max_batch);
+
+    /**
+     * Measure the curve on the chip simulator: for each anchor batch
+     * b in @p batches, simulate builder(b) end-to-end on @p session
+     * and take totalCycles / clock. Results are memoized by the
+     * session's SimCache like every other simulation.
+     */
+    static BatchLatencyModel
+    fromNetwork(const runtime::SimSession &session,
+                const std::function<model::Network(unsigned)> &builder,
+                const std::vector<unsigned> &batches, double clock_ghz);
+
+    /** Latency of a batch of @p batch requests (clamped to curve). */
+    double latencySeconds(unsigned batch) const;
+
+    /** Largest batch one replica dispatches at once. */
+    unsigned maxBatch() const;
+
+    /**
+     * Throughput ceiling of @p replicas replicas all running full
+     * batches back to back — the knee the overload sweeps are
+     * normalized against.
+     */
+    double saturationRequestsPerSec(unsigned replicas) const;
+
+    const std::vector<std::pair<unsigned, double>> &points() const
+    {
+        return points_;
+    }
+
+    /** Exact identity of the curve (checkpoint/runId fingerprints). */
+    std::string fingerprint() const;
+
+  private:
+    std::vector<std::pair<unsigned, double>> points_;
+};
+
+} // namespace serving
+} // namespace ascend
+
+#endif // ASCEND_SERVING_LATENCY_MODEL_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Seeded arrival-stream synthesis.
+ */
+
+#include "serving/workload.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ascend {
+namespace serving {
+
+namespace {
+
+void
+putBits(std::string &s, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    s += std::to_string(bits);
+    s += ',';
+}
+
+void
+putU64(std::string &s, std::uint64_t v)
+{
+    s += std::to_string(v);
+    s += ',';
+}
+
+/** Jitter stream: one draw per arrival ordinal. */
+constexpr std::uint64_t kJitterSalt = 0x9e3779b97f4a7c15ULL;
+/** Tier stream: independent of the jitter stream. */
+constexpr std::uint64_t kTierSalt = 0xd1342543de82ef95ULL;
+
+std::uint32_t
+drawTier(Rng &rng, const std::vector<QosTier> &tiers)
+{
+    // Cumulative-share walk; any residual mass (shares not summing
+    // to one) falls to the last tier, so the draw always lands.
+    const double u = rng.uniformReal();
+    double cum = 0;
+    for (std::size_t i = 0; i + 1 < tiers.size(); ++i) {
+        cum += tiers[i].share;
+        if (u < cum)
+            return std::uint32_t(i);
+    }
+    return std::uint32_t(tiers.size() - 1);
+}
+
+} // anonymous namespace
+
+std::vector<Request>
+generateArrivals(const ArrivalSpec &spec,
+                 const std::vector<QosTier> &tiers)
+{
+    std::vector<Request> out;
+    if (tiers.empty() || spec.ratePerSec <= 0 || spec.horizonSec <= 0)
+        return out;
+    simAssert(spec.burstFactor >= 1.0,
+              "burstFactor models a peak over the calm rate (>= 1)");
+    simAssert(spec.burstDuty >= 0 && spec.burstDuty <= 1,
+              "burstDuty is a fraction of the period");
+
+    // Square-wave modulation, normalized so the mean over one period
+    // is exactly ratePerSec: each period spends burstDuty at
+    // calm*burstFactor and the rest at calm.
+    const bool bursty =
+        spec.burstPeriodSec > 0 && spec.burstFactor > 1.0 &&
+        spec.burstDuty > 0 && spec.burstDuty < 1;
+    const double meanFactor =
+        bursty ? spec.burstDuty * spec.burstFactor +
+                     (1.0 - spec.burstDuty)
+               : 1.0;
+    const double calmRate = spec.ratePerSec / meanFactor;
+    const double peakRate = calmRate * spec.burstFactor;
+
+    Rng jitter(spec.seed ^ kJitterSalt);
+    Rng tierRng(spec.seed ^ kTierSalt);
+
+    out.reserve(std::size_t(spec.ratePerSec * spec.horizonSec) + 8);
+
+    // Arrival j lands where the cumulative rate integral Lambda(t)
+    // reaches j + u_j. Lambda is piecewise linear (peak segment then
+    // calm segment per period), so the walk below merges the target
+    // sequence against segment boundaries: O(arrivals + segments),
+    // pure arithmetic.
+    double segStart = 0;    ///< current segment start time
+    double lambdaAtSeg = 0; ///< Lambda(segStart)
+    bool inPeak = bursty;   ///< each period opens with its burst
+    std::uint64_t j = 0;
+    while (segStart < spec.horizonSec) {
+        const double rate = inPeak ? peakRate : calmRate;
+        double segLen;
+        if (!bursty) {
+            segLen = spec.horizonSec - segStart;
+        } else {
+            segLen = inPeak
+                         ? spec.burstPeriodSec * spec.burstDuty
+                         : spec.burstPeriodSec * (1.0 - spec.burstDuty);
+            segLen = std::min(segLen, spec.horizonSec - segStart);
+        }
+        const double lambdaEnd = lambdaAtSeg + rate * segLen;
+        while (true) {
+            const double target = double(j) + jitter.uniformReal();
+            if (target >= lambdaEnd)
+                break; // next arrival lies beyond this segment
+            const double t =
+                segStart + (target - lambdaAtSeg) / rate;
+            if (t >= spec.horizonSec)
+                break;
+            Request r;
+            r.id = j;
+            r.arrivalSec = t;
+            r.tier = drawTier(tierRng, tiers);
+            out.push_back(r);
+            ++j;
+        }
+        segStart += segLen;
+        lambdaAtSeg = lambdaEnd;
+        if (bursty)
+            inPeak = !inPeak;
+    }
+    return out;
+}
+
+std::vector<Request>
+replayTrace(const std::vector<double> &times_sec,
+            const std::vector<QosTier> &tiers, std::uint64_t seed)
+{
+    std::vector<Request> out;
+    if (tiers.empty())
+        return out;
+    Rng tierRng(seed ^ kTierSalt);
+    out.reserve(times_sec.size());
+    for (std::size_t i = 0; i < times_sec.size(); ++i) {
+        simAssert(i == 0 || times_sec[i] >= times_sec[i - 1],
+                  "trace arrival times must be sorted ascending");
+        Request r;
+        r.id = i;
+        r.arrivalSec = times_sec[i];
+        r.tier = drawTier(tierRng, tiers);
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::string
+fingerprint(const ArrivalSpec &spec)
+{
+    std::string s;
+    s.reserve(128);
+    s += "arrivals:";
+    putU64(s, spec.seed);
+    putBits(s, spec.horizonSec);
+    putBits(s, spec.ratePerSec);
+    putBits(s, spec.burstFactor);
+    putBits(s, spec.burstPeriodSec);
+    putBits(s, spec.burstDuty);
+    return s;
+}
+
+std::string
+fingerprint(const std::vector<QosTier> &tiers)
+{
+    std::string s;
+    s.reserve(64 + tiers.size() * 48);
+    s += "tiers:";
+    putU64(s, tiers.size());
+    for (const QosTier &t : tiers) {
+        s += t.name;
+        s += ';';
+        putBits(s, t.deadlineSec);
+        putBits(s, t.share);
+        putU64(s, t.sheddable ? 1 : 0);
+        putU64(s, t.reservedSlots);
+    }
+    return s;
+}
+
+} // namespace serving
+} // namespace ascend

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Checkpoint-corruption fuzz: every way a checkpoint artifact can rot
+ * on disk — flipped bits, truncation at any offset, appended garbage,
+ * zeroed runs, foreign magics — must surface as a structured
+ * ascend::Error{CheckpointCorrupt} from the Checked loaders (or a
+ * quiet false for absence), never as a crash, a hang, or a silently
+ * accepted wrong state. Runs both artifact framings: the field-wise
+ * ASCCKPT elastic checkpoint and the opaque ASCBLOB payload the
+ * serving engine persists. Built with the same sanitizer flags as the
+ * rest of the suite, so an out-of-bounds parse trips ASan/UBSan here.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "resilience/checkpoint.hh"
+
+using namespace ascend;
+using resilience::CheckpointStore;
+using resilience::RunCheckpoint;
+
+namespace {
+
+std::string
+tempDir(const char *test)
+{
+    return ::testing::TempDir() + "ascend_ckpt_fuzz_" + test;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+spit(const std::string &path, const std::string &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), std::streamsize(data.size()));
+}
+
+RunCheckpoint
+sampleCheckpoint()
+{
+    RunCheckpoint s;
+    s.runId = "fuzz-run";
+    s.sequence = 7;
+    s.nextStep = 42;
+    s.simTimeSec = 3.5;
+    s.activeNodes = {0u, 1u, 2u, 7u};
+    s.sparesLeft = 2;
+    s.lastCheckpointStep = 40;
+    s.lastCheckpointSec = 3.25;
+    s.nodeEventCursor = 5;
+    s.eccEventCursor = 1;
+    s.counters.failovers = 2;
+    s.counters.rollbacks = 1;
+    s.eventLog = "[e00001] t=0 failover\n";
+    return s;
+}
+
+/** A payload with structure worth corrupting: lengths and floats. */
+std::string
+samplePayload()
+{
+    std::string payload = "serving-state:";
+    for (int i = 0; i < 64; ++i)
+        payload.push_back(char(i * 7));
+    payload += "trailer";
+    return payload;
+}
+
+enum class Outcome { Loaded, Missing, Corrupt };
+
+/**
+ * Load through the Checked API and classify. Anything but these
+ * three outcomes (a crash, another exception type) fails the test.
+ */
+Outcome
+checkedLoad(const CheckpointStore &store, const std::string &run_id)
+{
+    RunCheckpoint out;
+    try {
+        return store.loadChecked(out, run_id) ? Outcome::Loaded
+                                              : Outcome::Missing;
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt)
+            << e.what();
+        EXPECT_FALSE(e.context().empty());
+        return Outcome::Corrupt;
+    }
+}
+
+Outcome
+checkedBlobLoad(const CheckpointStore &store,
+                const std::string &run_id)
+{
+    std::string payload;
+    try {
+        return store.loadBlobChecked(payload, run_id)
+                   ? Outcome::Loaded
+                   : Outcome::Missing;
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt)
+            << e.what();
+        EXPECT_FALSE(e.context().empty());
+        return Outcome::Corrupt;
+    }
+}
+
+} // namespace
+
+TEST(CheckpointFuzz, EveryBitFlipInElasticFramingIsCorrupt)
+{
+    const CheckpointStore store(tempDir("bitflip"));
+    ASSERT_TRUE(store.save(sampleCheckpoint()));
+    const std::string blob = slurp(store.path());
+    ASSERT_GT(blob.size(), 32u);
+
+    Rng rng(0xf1u);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = blob;
+        const std::size_t at = std::size_t(rng.uniform(mutated.size()));
+        mutated[at] = char(mutated[at] ^ (1 << unsigned(rng.uniform(8))));
+        spit(store.path(), mutated);
+        // A flip may hit an ignorable byte only if the artifact still
+        // verifies byte-identically — impossible with a checksum over
+        // everything — so the only allowed outcome is Corrupt.
+        EXPECT_EQ(checkedLoad(store, "fuzz-run"), Outcome::Corrupt)
+            << "flip at offset " << at;
+    }
+    store.remove();
+}
+
+TEST(CheckpointFuzz, EveryTruncationOfElasticFramingIsCorrupt)
+{
+    const CheckpointStore store(tempDir("truncate"));
+    ASSERT_TRUE(store.save(sampleCheckpoint()));
+    const std::string blob = slurp(store.path());
+
+    for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+        spit(store.path(), blob.substr(0, cut));
+        EXPECT_EQ(checkedLoad(store, "fuzz-run"), Outcome::Corrupt)
+            << "truncated to " << cut << " bytes";
+    }
+
+    // Appended garbage is corruption too, not trailing slack.
+    spit(store.path(), blob + "zzzz");
+    EXPECT_EQ(checkedLoad(store, "fuzz-run"), Outcome::Corrupt);
+
+    // The pristine bytes still load after all that fuzzing.
+    spit(store.path(), blob);
+    EXPECT_EQ(checkedLoad(store, "fuzz-run"), Outcome::Loaded);
+    store.remove();
+    EXPECT_EQ(checkedLoad(store, "fuzz-run"), Outcome::Missing);
+}
+
+TEST(CheckpointFuzz, EveryBitFlipInBlobFramingIsCorrupt)
+{
+    const CheckpointStore store(tempDir("blob_bitflip"), "serving");
+    ASSERT_TRUE(store.saveBlob("fuzz-run", samplePayload()));
+    const std::string blob = slurp(store.path());
+    ASSERT_GT(blob.size(), 32u);
+
+    Rng rng(0xb10bu);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = blob;
+        const std::size_t at = std::size_t(rng.uniform(mutated.size()));
+        mutated[at] = char(mutated[at] ^ (1 << unsigned(rng.uniform(8))));
+        spit(store.path(), mutated);
+        EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"),
+                  Outcome::Corrupt)
+            << "flip at offset " << at;
+    }
+    store.remove();
+}
+
+TEST(CheckpointFuzz, EveryTruncationOfBlobFramingIsCorrupt)
+{
+    const CheckpointStore store(tempDir("blob_truncate"), "serving");
+    ASSERT_TRUE(store.saveBlob("fuzz-run", samplePayload()));
+    const std::string blob = slurp(store.path());
+
+    for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+        spit(store.path(), blob.substr(0, cut));
+        EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"),
+                  Outcome::Corrupt)
+            << "truncated to " << cut << " bytes";
+    }
+
+    spit(store.path(), blob + std::string(4, '\0'));
+    EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"), Outcome::Corrupt);
+
+    spit(store.path(), blob);
+    EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"), Outcome::Loaded);
+    std::string payload;
+    ASSERT_TRUE(store.loadBlob(payload, "fuzz-run"));
+    EXPECT_EQ(payload, samplePayload());
+    store.remove();
+    EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"), Outcome::Missing);
+}
+
+TEST(CheckpointFuzz, StructuredMutationsNeverCrashOrPass)
+{
+    const CheckpointStore store(tempDir("structured"), "serving");
+    ASSERT_TRUE(store.saveBlob("fuzz-run", samplePayload()));
+    const std::string blob = slurp(store.path());
+
+    // Cross-framing confusion: a blob parsed as a checkpoint and a
+    // checkpoint parsed as a blob are both clean refusals.
+    EXPECT_EQ(checkedLoad(store, "fuzz-run"), Outcome::Corrupt);
+    const CheckpointStore elastic(tempDir("structured_e"));
+    ASSERT_TRUE(elastic.save(sampleCheckpoint()));
+    spit(store.path(), slurp(elastic.path()));
+    EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"), Outcome::Corrupt);
+
+    // Zeroed windows (torn write / sparse-file damage).
+    for (std::size_t start = 0; start + 8 <= blob.size();
+         start += 11) {
+        std::string mutated = blob;
+        for (std::size_t i = 0; i < 8; ++i)
+            mutated[start + i] = '\0';
+        spit(store.path(), mutated);
+        EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"),
+                  Outcome::Corrupt)
+            << "zeroed window at " << start;
+    }
+
+    // Saturated length fields cannot trigger giant allocations: the
+    // loader bounds every count against the remaining bytes.
+    std::string huge = blob;
+    for (std::size_t i = 8; i < 16 && i < huge.size(); ++i)
+        huge[i] = char(0xff);
+    spit(store.path(), huge);
+    EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"), Outcome::Corrupt);
+
+    // An empty file is corruption (the slot exists but holds nothing).
+    spit(store.path(), "");
+    EXPECT_EQ(checkedBlobLoad(store, "fuzz-run"), Outcome::Corrupt);
+
+    // The quiet loaders refuse the same inputs without throwing.
+    spit(store.path(), huge);
+    std::string payload = "untouched";
+    EXPECT_FALSE(store.loadBlob(payload, "fuzz-run"));
+    EXPECT_EQ(payload, "untouched");
+
+    store.remove();
+    elastic.remove();
+}
+
+TEST(CheckpointFuzz, ForeignRunIdIsCorruptionUnderCheckedLoad)
+{
+    const CheckpointStore store(tempDir("foreign"), "serving");
+    ASSERT_TRUE(store.saveBlob("run-A", samplePayload()));
+    // The bytes are pristine; the identity is wrong. loadChecked
+    // treats that as corruption of this run's slot.
+    EXPECT_EQ(checkedBlobLoad(store, "run-B"), Outcome::Corrupt);
+    EXPECT_EQ(checkedBlobLoad(store, "run-A"), Outcome::Loaded);
+    store.remove();
+}

@@ -231,4 +231,85 @@ TEST(DesKernel, PhaseRunsInlineBelowTwoSlices)
     EXPECT_EQ(calls, 1); // n == 0: body never invoked
 }
 
+TEST(DesKernel, NextEventTimeTracksTheQueueHead)
+{
+    des::Kernel k;
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(k.nextEventTime(), inf);
+
+    k.schedule(3.0, 0, "late", [](des::Kernel &) {});
+    EXPECT_EQ(k.nextEventTime(), 3.0);
+    k.schedule(1.0, 5, "early", [&](des::Kernel &kk) {
+        // Mid-run the head is the next pending event, not self.
+        EXPECT_EQ(kk.nextEventTime(), 3.0);
+        kk.stop();
+    });
+    EXPECT_EQ(k.nextEventTime(), 1.0);
+    // A quiescent marker at the head is an event like any other.
+    k.scheduleQuiescent(0.5, 0);
+    EXPECT_EQ(k.nextEventTime(), 0.5);
+
+    k.run(); // stops at t=1 with "late" still queued
+    EXPECT_EQ(k.nextEventTime(), 3.0);
+    k.run();
+    EXPECT_EQ(k.nextEventTime(), inf);
+}
+
+TEST(DesKernel, SecondClientComposesAfterStopAndResume)
+{
+    // Client A runs until it stops the kernel mid-stream; client B is
+    // registered only after that stop — its events and hooks must
+    // interleave with A's preserved queue in canonical order.
+    des::Kernel k;
+    std::string order;
+    k.onQuiescent([&](des::Kernel &) { order += "qA"; });
+    k.schedule(1.0, 0, "A1", [&](des::Kernel &kk) {
+        order += "A1.";
+        kk.stop();
+    });
+    k.schedule(2.0, 1, "A2", [&](des::Kernel &) { order += "A2."; });
+    k.scheduleQuiescent(2.0, 0);
+    k.run();
+    ASSERT_TRUE(k.stopped());
+    ASSERT_EQ(order, "A1.");
+    ASSERT_EQ(k.pending(), 2u);
+
+    // B joins late: an earlier event than A's remainder, a same-time
+    // higher-priority event, and its own quiescent hook. The hook
+    // list is kernel-global, so A's hook runs first at B's marker too.
+    k.onQuiescent([&](des::Kernel &) { order += "qB"; });
+    k.schedule(1.5, 0, "B1", [&](des::Kernel &) { order += "B1."; });
+    k.schedule(2.0, 2, "B2", [&](des::Kernel &) { order += "B2."; });
+    k.scheduleQuiescent(1.5, -1);
+    EXPECT_EQ(k.nextEventTime(), 1.5);
+
+    k.run();
+    EXPECT_EQ(order, "A1.qAqBB1.qAqBA2.B2.");
+    EXPECT_EQ(k.pending(), 0u);
+    EXPECT_EQ(k.now(), 2.0);
+}
+
+TEST(DesKernel, QuiescentHooksSeeOneOrderAcrossClientsAtEqualTime)
+{
+    // Two clients chain quiescent markers at the same sim time (the
+    // elastic and serving engines' shared discipline). Hooks run in
+    // registration order at every marker, and a marker never
+    // reorders against same-time prioritized work.
+    des::Kernel k;
+    std::string order;
+    k.onQuiescent([&](des::Kernel &) { order += "a"; });
+    k.onQuiescent([&](des::Kernel &) { order += "b"; });
+
+    k.scheduleQuiescent(1.0, 0); // client 1's marker
+    k.schedule(1.0, 1, "poll1",
+               [&](des::Kernel &) { order += "p1."; });
+    k.scheduleQuiescent(1.0, 2); // client 2's marker, after the poll
+    k.schedule(1.0, 3, "poll2",
+               [&](des::Kernel &) { order += "p2."; });
+    k.run();
+
+    EXPECT_EQ(order, "abp1.abp2.");
+    EXPECT_EQ(k.stats().quiescentPoints, 2u);
+}
+
 } // anonymous namespace

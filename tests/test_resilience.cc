@@ -195,6 +195,93 @@ TEST(Policy, BackoffIsMonotoneAndSaturatesExactly)
     EXPECT_EQ(resilience::retryDelaySeconds(p, 1000), 0.0);
 }
 
+TEST(Policy, CumulativeRetryDelayIsExactAndClosedForm)
+{
+    RetryPolicy p;
+    p.timeoutSec = 1e-3;
+    p.backoffBaseSec = 1e-4;
+    p.backoffMultiplier = 2.0;
+    p.backoffCapSec = 5e-4;
+
+    // Exactly the running sum of per-attempt delays.
+    EXPECT_DOUBLE_EQ(resilience::retryCumulativeSeconds(p, 0), 0.0);
+    double sum = 0;
+    for (unsigned n = 0; n < 40; ++n) {
+        sum += p.timeoutSec + resilience::retryDelaySeconds(p, n);
+        EXPECT_NEAR(resilience::retryCumulativeSeconds(p, n + 1), sum,
+                    1e-15 * double(n + 1));
+    }
+
+    // Closed-form over the saturated tail: astronomically many
+    // attempts stay finite and linear in the cap, never an
+    // O(attempts) loop or an overflow to inf.
+    const double huge =
+        resilience::retryCumulativeSeconds(p, 0xffffffffu);
+    EXPECT_FALSE(std::isinf(huge));
+    EXPECT_NEAR(huge,
+                double(0xffffffffu) * (p.timeoutSec + p.backoffCapSec),
+                1e-3 * huge);
+}
+
+TEST(Policy, DeadlineBudgetCapsRetriesAcrossTheKnobGrid)
+{
+    // Property sweep over cap saturation x deadline budget: the
+    // number of permitted retries is exactly the largest n with
+    // cumulative delay within the budget, retryPermitted agrees
+    // attempt by attempt, and both respect maxRetries.
+    const double caps[] = {5e-5, 5e-4, 1e-1};
+    const double budgets[] = {0.0,  1e-4, 2e-3, 1e-2,
+                              0.05, 1.0,  1e9};
+    for (double cap : caps) {
+        for (double budget : budgets) {
+            RetryPolicy p;
+            p.maxRetries = 6;
+            p.timeoutSec = 3e-4;
+            p.backoffBaseSec = 1e-4;
+            p.backoffMultiplier = 2.0;
+            p.backoffCapSec = cap;
+            p.giveUpAfterSeconds = budget;
+
+            const unsigned n = resilience::retriesWithinBudget(p);
+            EXPECT_LE(n, p.maxRetries);
+            if (budget <= 0.0) {
+                // 0 disables the budget: maxRetries alone rules.
+                EXPECT_EQ(n, p.maxRetries);
+            } else {
+                EXPECT_LE(resilience::retryCumulativeSeconds(p, n),
+                          budget);
+                if (n < p.maxRetries) {
+                    EXPECT_GT(
+                        resilience::retryCumulativeSeconds(p, n + 1),
+                        budget);
+                }
+            }
+            for (unsigned a = 0; a <= p.maxRetries + 2; ++a)
+                EXPECT_EQ(resilience::retryPermitted(p, a), a < n)
+                    << "cap " << cap << " budget " << budget
+                    << " attempt " << a;
+        }
+    }
+}
+
+TEST(Policy, TightDeadlineForbidsEvenTheFirstRetry)
+{
+    RetryPolicy p;
+    p.maxRetries = 5;
+    p.timeoutSec = 1e-3;
+    p.backoffBaseSec = 1e-4;
+    p.giveUpAfterSeconds = 5e-4; // below one attempt's cost
+    EXPECT_EQ(resilience::retriesWithinBudget(p), 0u);
+    EXPECT_FALSE(resilience::retryPermitted(p, 0));
+
+    // A budget exactly at the first attempt's cost admits it: the
+    // contract is "within", not "strictly under".
+    p.giveUpAfterSeconds = p.timeoutSec + p.backoffBaseSec;
+    EXPECT_EQ(resilience::retriesWithinBudget(p), 1u);
+    EXPECT_TRUE(resilience::retryPermitted(p, 0));
+    EXPECT_FALSE(resilience::retryPermitted(p, 1));
+}
+
 TEST(Policy, CheckpointRestartExactWithoutFaults)
 {
     CheckpointPolicy off;
