@@ -63,7 +63,8 @@ syntheticChipSim(unsigned cores, unsigned tasks_per_core)
 
 void
 writeJson(const std::vector<Stage> &stages,
-          const runtime::SimCache::Stats &cache, unsigned threads)
+          const runtime::SimCache::Stats &cache, unsigned threads,
+          double sweep_exact_sec, double sweep_surrogate_sec)
 {
     std::ofstream out("BENCH_runtime.json");
     out << "{\n  \"threads\": " << threads << ",\n  \"stages\": [\n";
@@ -71,7 +72,14 @@ writeJson(const std::vector<Stage> &stages,
         out << "    {\"name\": \"" << stages[i].name
             << "\", \"seconds\": " << stages[i].seconds << "}"
             << (i + 1 < stages.size() ? "," : "") << "\n";
-    out << "  ],\n  \"cache\": {\"hits\": " << cache.hits
+    out << "  ],\n  \"surrogate\": {\"exact_seconds\": "
+        << sweep_exact_sec
+        << ", \"surrogate_seconds\": " << sweep_surrogate_sec
+        << ", \"speedup\": "
+        << (sweep_surrogate_sec > 0
+                ? sweep_exact_sec / sweep_surrogate_sec
+                : 0)
+        << "},\n  \"cache\": {\"hits\": " << cache.hits
         << ", \"misses\": " << cache.misses
         << ", \"hit_rate\": " << cache.hitRate()
         << ", \"entries\": " << cache.entries
@@ -113,6 +121,32 @@ main()
         syntheticChipSim(4096, 64);
     });
 
+    // Surrogate-off vs surrogate-on over one design-space sweep (a
+    // GEMM m-axis scan on fresh private caches, so neither leg can
+    // feed the other): the perf trajectory's record of what the
+    // surrogate tier buys.
+    const auto mSweep = [](const runtime::SimSession &s) {
+        for (unsigned m = 500; m < 2500; m += 37)
+            s.runLayer(model::Layer::linear("sweep", m, 1024, 1024));
+    };
+    timeStage("design sweep (exact)", [&] {
+        const runtime::SimSession exact(
+            soc910.coreConfig(), {},
+            std::make_shared<runtime::SimCache>(), {},
+            surrogate::SurrogateOptions{});
+        mSweep(exact);
+    });
+    const double sweepExactSec = stages.back().seconds;
+    timeStage("design sweep (surrogate)", [&] {
+        surrogate::SurrogateOptions sur;
+        sur.enabled = true;
+        const runtime::SimSession pred(
+            soc910.coreConfig(), {},
+            std::make_shared<runtime::SimCache>(), {}, sur);
+        mSweep(pred);
+    });
+    const double sweepSurrogateSec = stages.back().seconds;
+
     const unsigned threads = runtime::ThreadPool::configuredThreads();
     const runtime::SimCache::Stats cache =
         runtime::SimSession::processCache()->stats();
@@ -128,7 +162,13 @@ main()
               << TextTable::num(100.0 * cache.hitRate(), 1)
               << "% hit rate)\n";
 
-    writeJson(stages, cache, threads);
+    if (sweepSurrogateSec > 0)
+        std::cout << "surrogate design-sweep speedup: "
+                  << TextTable::num(
+                         sweepExactSec / sweepSurrogateSec, 1)
+                  << "x\n";
+    writeJson(stages, cache, threads, sweepExactSec,
+              sweepSurrogateSec);
     std::cout << "wrote BENCH_runtime.json\n";
     return 0;
 }

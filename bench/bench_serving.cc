@@ -237,12 +237,20 @@ sweep()
 
     // Batch latency measured on the chip simulator: resnet50 on the
     // training-SoC core at anchor batch sizes (SimCache-memoized).
+    // The surrogate tier answers off-grid anchors by error-bounded
+    // interpolation (predictions are pure functions of the shape, so
+    // the curve stays byte-stable), which is what makes the dense
+    // 12-anchor curve through batch 16 affordable here.
     soc::TrainingSoc soc910;
-    runtime::SimSession session(soc910.coreConfig());
+    surrogate::SurrogateOptions sur;
+    sur.enabled = true;
+    runtime::SimSession session(soc910.coreConfig(), {}, nullptr, {},
+                                sur);
     const BatchLatencyModel model = BatchLatencyModel::fromNetwork(
         session,
         [](unsigned batch) { return model::zoo::resnet50(batch); },
-        {1, 2, 4, 8}, session.config().clockGhz);
+        BatchLatencyModel::denseAnchors(16),
+        session.config().clockGhz);
 
     const double lb = model.latencySeconds(model.maxBatch());
     const double sat = model.saturationRequestsPerSec(4);

@@ -107,6 +107,7 @@ processName(std::uint32_t pid)
       case Domain::Cluster: return "cluster collectives (ns)";
       case Domain::Kernel:  return "des kernel (ns)";
       case Domain::Serving: return "serving fleet (ns)";
+      case Domain::Surrogate: return "surrogate (cycles)";
     }
     return "?";
 }
@@ -128,6 +129,7 @@ trackName(std::uint32_t pid, std::uint32_t tid)
       case Domain::Serving:
         return tid == 1 ? "fleet"
                         : "replica" + std::to_string(tid - 2);
+      case Domain::Surrogate: return "layers";
     }
     return "?";
 }

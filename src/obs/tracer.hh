@@ -67,6 +67,7 @@ enum class Domain : std::uint32_t {
     Cluster = 5, ///< collective phases; timestamps in nanoseconds
     Kernel = 6,  ///< des kernel phases; timestamps in nanoseconds
     Serving = 7, ///< fleet serving sim; timestamps in nanoseconds
+    Surrogate = 8, ///< surrogate cost model; timestamps in core cycles
 };
 
 /** One completed interval on a (domain, track) timeline. */

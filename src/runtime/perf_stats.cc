@@ -117,6 +117,26 @@ atomicServingCounters()
     return t;
 }
 
+/** Relaxed atomic mirror of SurrogateCounters. */
+struct AtomicSurrogateCounters
+{
+    std::atomic<std::uint64_t> predictions{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> anchors{0};
+    std::atomic<std::uint64_t> fallbackSmall{0};
+    std::atomic<std::uint64_t> fallbackHull{0};
+    std::atomic<std::uint64_t> fallbackBudget{0};
+    std::atomic<std::uint64_t> spotChecks{0};
+    std::atomic<double> maxRelError{0};
+};
+
+AtomicSurrogateCounters &
+atomicSurrogateCounters()
+{
+    static AtomicSurrogateCounters t;
+    return t;
+}
+
 /** Relaxed atomic mirror of KernelCounters. */
 struct AtomicKernelCounters
 {
@@ -291,6 +311,58 @@ resetServingTotals()
 }
 
 void
+chargeSurrogate(const SurrogateCounters &delta)
+{
+    AtomicSurrogateCounters &t = atomicSurrogateCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    t.predictions.fetch_add(delta.predictions, relaxed);
+    t.cacheHits.fetch_add(delta.cacheHits, relaxed);
+    t.anchors.fetch_add(delta.anchors, relaxed);
+    t.fallbackSmall.fetch_add(delta.fallbackSmall, relaxed);
+    t.fallbackHull.fetch_add(delta.fallbackHull, relaxed);
+    t.fallbackBudget.fetch_add(delta.fallbackBudget, relaxed);
+    t.spotChecks.fetch_add(delta.spotChecks, relaxed);
+    // Observed error is a max, not a sum: keep the worst any spot
+    // check ever saw.
+    double seen = t.maxRelError.load(relaxed);
+    while (seen < delta.maxRelError &&
+           !t.maxRelError.compare_exchange_weak(
+               seen, delta.maxRelError, relaxed, relaxed)) {
+    }
+}
+
+SurrogateCounters
+surrogateTotals()
+{
+    const AtomicSurrogateCounters &t = atomicSurrogateCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    SurrogateCounters out;
+    out.predictions = t.predictions.load(relaxed);
+    out.cacheHits = t.cacheHits.load(relaxed);
+    out.anchors = t.anchors.load(relaxed);
+    out.fallbackSmall = t.fallbackSmall.load(relaxed);
+    out.fallbackHull = t.fallbackHull.load(relaxed);
+    out.fallbackBudget = t.fallbackBudget.load(relaxed);
+    out.spotChecks = t.spotChecks.load(relaxed);
+    out.maxRelError = t.maxRelError.load(relaxed);
+    return out;
+}
+
+void
+resetSurrogateTotals()
+{
+    AtomicSurrogateCounters &t = atomicSurrogateCounters();
+    t.predictions = 0;
+    t.cacheHits = 0;
+    t.anchors = 0;
+    t.fallbackSmall = 0;
+    t.fallbackHull = 0;
+    t.fallbackBudget = 0;
+    t.spotChecks = 0;
+    t.maxRelError = 0;
+}
+
+void
 chargeKernel(const KernelCounters &delta)
 {
     AtomicKernelCounters &t = atomicKernelCounters();
@@ -399,6 +471,27 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
                      percent(totals.utilization(pipe)) + ")",
                  std::to_string(totals.waitCycles[p]) + " wait"});
         }
+    }
+    const SurrogateCounters sur = surrogateTotals();
+    if (sur.queries()) {
+        rows.push_back({"surrogate queries",
+                        std::to_string(sur.queries()), ""});
+        rows.push_back({"surrogate hits",
+                        std::to_string(sur.predictions) +
+                            " predicted",
+                        std::to_string(sur.cacheHits) +
+                            " cache hits"});
+        rows.push_back({"surrogate anchors",
+                        std::to_string(sur.anchors), ""});
+        rows.push_back({"surrogate fallbacks",
+                        std::to_string(sur.fallbackSmall) + " small",
+                        std::to_string(sur.fallbackHull) + " hull, " +
+                            std::to_string(sur.fallbackBudget) +
+                            " budget"});
+        rows.push_back({"surrogate spot checks",
+                        std::to_string(sur.spotChecks),
+                        "max rel err " +
+                            percent(sur.maxRelError)});
     }
     const KernelCounters kern = kernelTotals();
     if (kern.kernels) {

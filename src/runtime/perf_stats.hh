@@ -219,6 +219,43 @@ ServingCounters servingTotals();
 /** Zero the serving totals (tests isolate themselves with this). */
 void resetServingTotals();
 
+/**
+ * Process-wide surrogate cost-model totals, accumulated from every
+ * surrogate-tiered SimSession::runLayer call. Wall-clock-free
+ * outcome counters; the counts themselves may vary with thread
+ * scheduling (a racing anchor sim can turn a later anchor query into
+ * a cache hit), which is why they surface only in the stderr stats
+ * report, never in deterministic output.
+ */
+struct SurrogateCounters
+{
+    std::uint64_t predictions = 0;    ///< O(1) interpolated answers
+    std::uint64_t cacheHits = 0;      ///< memoized results re-served
+    std::uint64_t anchors = 0;        ///< on-grid queries: exact sim
+    std::uint64_t fallbackSmall = 0;  ///< below the min-work floor
+    std::uint64_t fallbackHull = 0;   ///< outside the trusted hull
+    std::uint64_t fallbackBudget = 0; ///< level disagreement too large
+    std::uint64_t spotChecks = 0;     ///< sampled exact re-derivations
+    /** Largest relative error a spot check observed (max-merged). */
+    double maxRelError = 0;
+
+    std::uint64_t
+    queries() const
+    {
+        return predictions + cacheHits + anchors + fallbackSmall +
+               fallbackHull + fallbackBudget + spotChecks;
+    }
+};
+
+/** Accumulate @p delta into the process-wide surrogate totals. */
+void chargeSurrogate(const SurrogateCounters &delta);
+
+/** Point-in-time copy of the surrogate totals. */
+SurrogateCounters surrogateTotals();
+
+/** Zero the surrogate totals (tests isolate themselves with this). */
+void resetSurrogateTotals();
+
 /** Accumulate @p delta into the process-wide kernel totals. */
 void chargeKernel(const KernelCounters &delta);
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -217,6 +218,69 @@ fingerprint(const model::Layer &layer)
     return s;
 }
 
+bool
+parseLayerFingerprint(const std::string &key, model::Layer &out)
+{
+    // The layer fingerprint is always the final component of a
+    // session key, so take the last "lay:".
+    const std::size_t at = key.rfind("lay:");
+    if (at == std::string::npos)
+        return false;
+    const char *p = key.c_str() + at + 4;
+    const char *end = key.c_str() + key.size();
+
+    // 24 comma-terminated u64 fields, in fingerprint(layer) order.
+    std::uint64_t f[24];
+    for (std::uint64_t &v : f) {
+        if (p >= end)
+            return false;
+        char *stop = nullptr;
+        v = std::strtoull(p, &stop, 10);
+        if (stop == p || stop >= end || *stop != ',')
+            return false;
+        p = stop + 1;
+    }
+    if (p != end)
+        return false;
+    if (f[0] > std::uint64_t(model::LayerKind::CvOp) ||
+        f[1] > std::uint64_t(DataType::Fp32) ||
+        f[21] > std::uint64_t(model::ActKind::Swish))
+        return false;
+
+    auto asDouble = [](std::uint64_t bits) {
+        double d;
+        static_assert(sizeof(d) == sizeof(bits));
+        std::memcpy(&d, &bits, sizeof(d));
+        return d;
+    };
+    out = model::Layer{};
+    out.kind = model::LayerKind(f[0]);
+    out.dtype = DataType(f[1]);
+    out.batch = unsigned(f[2]);
+    out.inC = unsigned(f[3]);
+    out.outC = unsigned(f[4]);
+    out.inH = unsigned(f[5]);
+    out.inW = unsigned(f[6]);
+    out.kernelH = unsigned(f[7]);
+    out.kernelW = unsigned(f[8]);
+    out.strideH = unsigned(f[9]);
+    out.strideW = unsigned(f[10]);
+    out.padH = unsigned(f[11]);
+    out.padW = unsigned(f[12]);
+    out.gemmM = f[13];
+    out.gemmK = f[14];
+    out.gemmN = f[15];
+    out.matmulCount = f[16];
+    out.elems = f[17];
+    out.rowLen = f[18];
+    out.cvPasses = asDouble(f[19]);
+    out.fusedEvictPasses = asDouble(f[20]);
+    out.act = model::ActKind(f[21]);
+    out.inputBytesOverride = f[22];
+    out.outputBytesOverride = f[23];
+    return true;
+}
+
 std::string
 fingerprint(const resilience::ResilienceOptions &options)
 {
@@ -292,6 +356,16 @@ SimCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
     lru_.clear();
+}
+
+void
+SimCache::forEach(const std::function<void(const std::string &,
+                                           const core::SimResult &)>
+                      &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string &key : lru_) // MRU first, like saveFile
+        fn(key, map_.at(key).value);
 }
 
 std::string

@@ -36,6 +36,7 @@
 #define ASCEND_RUNTIME_SIM_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -67,6 +68,16 @@ std::string fingerprint(const model::Layer &layer);
  * their key so fault-injected runs never alias fault-free entries.
  */
 std::string fingerprint(const resilience::ResilienceOptions &options);
+
+/**
+ * Recover the layer shape serialized in a cache key: the inverse of
+ * fingerprint(layer) over the trailing "lay:" component every
+ * SimSession key ends with. The surrogate cost model trains from a
+ * warm cache through this (the name is not recoverable — it was never
+ * fingerprinted). Returns false when @p key carries no well-formed
+ * layer fingerprint.
+ */
+bool parseLayerFingerprint(const std::string &key, model::Layer &out);
 
 /**
  * Thread-safe LRU memo: fingerprint key -> SimResult.
@@ -119,6 +130,17 @@ class SimCache
 
     /** One-line human-readable counter summary. */
     std::string summary() const;
+
+    /**
+     * Visit every entry, most recently used first, under the cache
+     * lock (so @p fn must not call back into this cache). Counts
+     * neither hits nor recency. Export path for consumers that mine
+     * memoized results wholesale — e.g. the surrogate cost model
+     * training from a warm ASCEND_CACHE_DIR cache.
+     */
+    void forEach(const std::function<void(const std::string &,
+                                          const core::SimResult &)>
+                     &fn) const;
 
     /**
      * Simulator code-version fingerprint baked into cache files.

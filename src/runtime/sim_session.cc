@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/tracer.hh"
 #include "runtime/perf_stats.hh"
 #include "runtime/thread_pool.hh"
 
@@ -85,29 +86,27 @@ SimSession::processCache()
 SimSession::SimSession(const arch::CoreConfig &config,
                        compiler::CompileOptions options,
                        std::shared_ptr<SimCache> cache,
-                       resilience::ResilienceOptions res)
+                       resilience::ResilienceOptions res,
+                       surrogate::SurrogateOptions sur)
     : options_(options),
       layerCompiler_(config, options),
       sim_(config),
       cache_(cache ? std::move(cache) : processCache()),
       resilience_(res),
+      surrogate_(sur),
       sessionKey_(fingerprint(config) + fingerprint(options) +
-                  fingerprint(res))
+                  fingerprint(res)),
+      surrogateKey_(sessionKey_ + surrogate::fingerprint(sur))
 {
 }
 
 core::SimResult
-SimSession::runLayer(const model::Layer &layer) const
+SimSession::runLayerExact(const model::Layer &layer) const
 {
     const std::string key = sessionKey_ + fingerprint(layer);
     core::SimResult result;
-    if (cache_->lookup(key, result)) {
-        // Cache hits charge too: the pipe totals describe the
-        // workload simulated, not the cache behavior, so for a fixed
-        // workload they are hit-pattern- and thread-independent.
-        chargePipes(result);
+    if (cache_->lookup(key, result))
         return result;
-    }
     static PerfScope &perf = perfScope("layer-sim");
     const PerfTimer timer(perf);
     result = sim_.run(layerCompiler_.compile(layer));
@@ -116,8 +115,86 @@ SimSession::runLayer(const model::Layer &layer) const
     if (resilience_.enabled && resilience_.stragglerSlowdown > 1.0)
         result = derate(result, resilience_.stragglerSlowdown);
     cache_->insert(key, result);
-    chargePipes(result);
     return result;
+}
+
+core::SimResult
+SimSession::runLayer(const model::Layer &layer) const
+{
+    return runLayer(layer, nullptr);
+}
+
+core::SimResult
+SimSession::runLayer(const model::Layer &layer,
+                     surrogate::Outcome *outcome_out) const
+{
+    using surrogate::Outcome;
+    // Cache hits charge pipe totals too: the totals describe the
+    // workload simulated, not the cache behavior, so for a fixed
+    // workload they are hit-pattern- and thread-independent.
+    auto finish = [&](const core::SimResult &r, Outcome oc) {
+        chargePipes(r);
+        if (outcome_out)
+            *outcome_out = oc;
+        return r;
+    };
+
+    if (!surrogate_.options().enabled)
+        return finish(runLayerExact(layer), Outcome::Disabled);
+
+    // The span label must stay a pure function of the query, never of
+    // cache state: predicted-class shapes (off-grid, in-hull, budget-
+    // and spot-check-passing) only ever cache under surrogateKey_,
+    // everything else only under sessionKey_, so which tier hits is
+    // itself deterministic.
+    auto trace = [](const char *label, const core::SimResult &r) {
+        if (obs::Tracer *tr = obs::Tracer::current())
+            tr->span(obs::Domain::Surrogate, 1, label, 0,
+                     r.totalCycles);
+    };
+
+    const std::string layerPrint = fingerprint(layer);
+    core::SimResult result;
+    SurrogateCounters delta;
+    if (cache_->lookup(sessionKey_ + layerPrint, result)) {
+        trace("exact", result);
+        delta.cacheHits = 1;
+        chargeSurrogate(delta);
+        return finish(result, Outcome::CacheHit);
+    }
+    if (cache_->lookup(surrogateKey_ + layerPrint, result)) {
+        trace("predicted", result);
+        delta.cacheHits = 1;
+        chargeSurrogate(delta);
+        return finish(result, Outcome::CacheHit);
+    }
+
+    double spotErr = 0;
+    const Outcome oc = surrogate_.run(
+        layer,
+        [this](const model::Layer &l) { return runLayerExact(l); },
+        result, &spotErr);
+    // Exact outcomes were already memoized under the exact key by
+    // runLayerExact; only predictions live in the surrogate namespace.
+    if (oc == Outcome::Predicted)
+        cache_->insert(surrogateKey_ + layerPrint, result);
+    trace(oc == Outcome::Predicted ? "predicted" : "exact", result);
+    switch (oc) {
+      case Outcome::Predicted:      delta.predictions = 1; break;
+      case Outcome::Anchor:         delta.anchors = 1; break;
+      case Outcome::FallbackSmall:  delta.fallbackSmall = 1; break;
+      case Outcome::FallbackHull:   delta.fallbackHull = 1; break;
+      case Outcome::FallbackBudget: delta.fallbackBudget = 1; break;
+      case Outcome::SpotCheck:
+        delta.spotChecks = 1;
+        delta.maxRelError = spotErr;
+        break;
+      case Outcome::Disabled:
+      case Outcome::CacheHit:
+        break; // unreachable on this path
+    }
+    chargeSurrogate(delta);
+    return finish(result, oc);
 }
 
 std::vector<LayerRun>

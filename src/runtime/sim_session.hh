@@ -31,6 +31,7 @@
 #include "model/network.hh"
 #include "runtime/profile.hh"
 #include "runtime/sim_cache.hh"
+#include "surrogate/surrogate.hh"
 
 namespace ascend {
 namespace runtime {
@@ -50,14 +51,32 @@ class SimSession
      *        slowdown 1.0) reproduce fault-free results bit-for-bit
      *        and share their cache entries. Any other value is mixed
      *        into the session key so degraded runs cache separately.
+     * @param sur Surrogate cost-model knobs (surrogate/surrogate.hh);
+     *        default reads ASCEND_SURROGATE / ASCEND_SURROGATE_ERR.
+     *        When enabled, runLayer answers cache misses through
+     *        error-bounded O(1) interpolation between exact anchor
+     *        simulations; predicted results cache under keys mixed
+     *        with the surrogate fingerprint so they can never alias
+     *        exact entries.
      */
     explicit SimSession(const arch::CoreConfig &config,
                         compiler::CompileOptions options = {},
                         std::shared_ptr<SimCache> cache = nullptr,
-                        resilience::ResilienceOptions res = {});
+                        resilience::ResilienceOptions res = {},
+                        surrogate::SurrogateOptions sur =
+                            surrogate::SurrogateOptions::fromEnv());
 
-    /** Compile and simulate one layer, memoized. */
+    /**
+     * Compile and simulate one layer, memoized. Tiered: exact cache
+     * hit -> predicted cache hit -> surrogate prediction -> exact
+     * simulation (the surrogate tier exists only when enabled and
+     * itself falls back to exact per its hull/budget contract).
+     */
     core::SimResult runLayer(const model::Layer &layer) const;
+
+    /** runLayer, also reporting how the query was answered. */
+    core::SimResult runLayer(const model::Layer &layer,
+                             surrogate::Outcome *outcome_out) const;
 
     /** Compile and simulate every layer of @p net (inference). */
     std::vector<LayerRun> runInference(const model::Network &net) const;
@@ -82,6 +101,10 @@ class SimSession
     {
         return resilience_;
     }
+    const surrogate::SurrogateOptions &surrogateOptions() const
+    {
+        return surrogate_.options();
+    }
     const compiler::LayerCompiler &layerCompiler() const
     {
         return layerCompiler_;
@@ -95,13 +118,24 @@ class SimSession
     static const std::shared_ptr<SimCache> &processCache();
 
   private:
+    /**
+     * The exact tier: memoized compile + cycle-level sim (plus the
+     * straggler derate). The surrogate reaches its anchor shapes
+     * through this, so anchors share the session's cache entries.
+     * Does not charge pipe totals — callers charge once per query.
+     */
+    core::SimResult runLayerExact(const model::Layer &layer) const;
+
     compiler::CompileOptions options_;
     compiler::LayerCompiler layerCompiler_;
     core::CoreSim sim_;
     std::shared_ptr<SimCache> cache_;
     resilience::ResilienceOptions resilience_;
-    /** fingerprint(config) + fingerprint(options) [+ fingerprint(res)] */
+    surrogate::Surrogate surrogate_;
+    /** fingerprint(config) + fingerprint(options) + fingerprint(res) */
     std::string sessionKey_;
+    /** sessionKey_ + fingerprint(sur): the predicted-result namespace. */
+    std::string surrogateKey_;
 };
 
 } // namespace runtime

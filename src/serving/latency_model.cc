@@ -65,6 +65,21 @@ BatchLatencyModel::fromNetwork(
     return fromPoints(std::move(pts));
 }
 
+std::vector<unsigned>
+BatchLatencyModel::denseAnchors(unsigned max_batch)
+{
+    simAssert(max_batch >= 1, "need at least batch 1");
+    std::vector<unsigned> out;
+    unsigned step = 1;
+    for (unsigned b = 1; b < max_batch; b += step) {
+        out.push_back(b);
+        if (b >= 8 && (b & (b - 1)) == 0)
+            step = b / 4; // double the stride at each octave
+    }
+    out.push_back(max_batch);
+    return out;
+}
+
 double
 BatchLatencyModel::latencySeconds(unsigned batch) const
 {

@@ -62,6 +62,16 @@ class BatchLatencyModel
                 const std::function<model::Network(unsigned)> &builder,
                 const std::vector<unsigned> &batches, double clock_ghz);
 
+    /**
+     * Anchor batch sizes for a dense curve up to @p max_batch: every
+     * batch through 8, then a step that doubles per octave (8..16 by
+     * 2, 16..32 by 4, ...), always ending exactly at max_batch.
+     * Surrogate-enabled sessions (runtime::SimSession with
+     * ASCEND_SURROGATE=1) make simulating all of them affordable —
+     * the anchors beyond batch 8 the fleet sweeps used to skip.
+     */
+    static std::vector<unsigned> denseAnchors(unsigned max_batch);
+
     /** Latency of a batch of @p batch requests (clamped to curve). */
     double latencySeconds(unsigned batch) const;
 

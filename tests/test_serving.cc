@@ -239,6 +239,55 @@ TEST(ServingLatencyModel, ChipSimCurveIsMonotoneAndByteStable)
     EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }
 
+TEST(ServingLatencyModel, DenseAnchorsCoverEveryOctave)
+{
+    EXPECT_EQ(BatchLatencyModel::denseAnchors(32),
+              (std::vector<unsigned>{1, 2, 3, 4, 5, 6, 7, 8, 10, 12,
+                                     14, 16, 20, 24, 28, 32}));
+    EXPECT_EQ(BatchLatencyModel::denseAnchors(1),
+              std::vector<unsigned>{1});
+    EXPECT_EQ(BatchLatencyModel::denseAnchors(9),
+              (std::vector<unsigned>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+    // Strictly increasing and ending exactly at max_batch, whatever
+    // the bound.
+    const std::vector<unsigned> a =
+        BatchLatencyModel::denseAnchors(100);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_LT(a[i - 1], a[i]);
+    EXPECT_EQ(a.back(), 100u);
+}
+
+TEST(ServingLatencyModel, SurrogateDenseCurveIsMonotone)
+{
+    // The PR-7 limitation this closes: anchors stopped at batch 8
+    // because every extra anchor cost a full exact simulation. With
+    // the surrogate tier a 16-anchor curve through batch 32 is
+    // affordable, and the whole interpolated curve must still be
+    // monotone — at every integer batch, not just at the anchors
+    // fromPoints validates.
+    soc::TrainingSoc soc910;
+    surrogate::SurrogateOptions sur;
+    sur.enabled = true;
+    runtime::SimSession session(soc910.coreConfig(), {},
+                                std::make_shared<runtime::SimCache>(),
+                                {}, sur);
+    const auto builder = [](unsigned batch) {
+        return model::zoo::gestureNet(batch);
+    };
+    const std::vector<unsigned> anchors =
+        BatchLatencyModel::denseAnchors(32);
+    ASSERT_GE(anchors.size(), 6u);
+    const BatchLatencyModel m = BatchLatencyModel::fromNetwork(
+        session, builder, anchors, session.config().clockGhz);
+    ASSERT_EQ(m.points().size(), anchors.size());
+    double prev = 0;
+    for (unsigned b = 1; b <= m.maxBatch(); ++b) {
+        const double t = m.latencySeconds(b);
+        EXPECT_GE(t, prev) << "batch " << b;
+        prev = t;
+    }
+}
+
 // ------------------------------------------------------ the fleet
 
 TEST(ServingFleet, UnderloadCompletesEverythingInDeadline)
