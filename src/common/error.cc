@@ -24,6 +24,8 @@ toString(ErrorCode code)
       case ErrorCode::GuardExceeded:    return "guard-exceeded";
       case ErrorCode::KernelMisuse:     return "kernel-misuse";
       case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
+      case ErrorCode::GraphInvalid:      return "graph-invalid";
+      case ErrorCode::GraphShapeMismatch: return "graph-shape-mismatch";
     }
     return "unknown";
 }

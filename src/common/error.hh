@@ -36,6 +36,8 @@ enum class ErrorCode {
     GuardExceeded,    ///< a simulation event-count guard tripped
     KernelMisuse,     ///< des::Kernel API contract violated
     CheckpointCorrupt, ///< checkpoint artifact failed validation
+    GraphInvalid,      ///< graph IR structure broken (cycle, dangling edge)
+    GraphShapeMismatch, ///< graph tensor shapes inconsistent with a node
 };
 
 /** Stable lower-case name of @p code (used in what() prefixes). */

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Graph-IR builders for the paper's network zoo.
+ *
+ * Each builder re-expresses one model/zoo.hh network as an explicit
+ * DAG: residual connections become ResidualAdd nodes wired from the
+ * real producer tensors, BERT's fused QKV projection feeds a Split
+ * whose parts drive the attention matmuls as true two-operand nodes,
+ * and the pooler consumes a slice (unequal Split) of the final
+ * hidden states. Lowering each graph must reproduce the legacy
+ * linear layer list exactly — same layers, same order, byte-identical
+ * cycles — which tests/test_graph_ir.cc enforces differentially for
+ * all five networks.
+ */
+
+#ifndef ASCEND_GRAPH_ZOO_GRAPHS_HH
+#define ASCEND_GRAPH_ZOO_GRAPHS_HH
+
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace ascend {
+namespace graph {
+namespace zoo {
+
+/** ResNet50 v1.5 with explicit residual wiring. */
+Graph resnet50Graph(unsigned batch, DataType dt = DataType::Fp16);
+
+/** MobileNetV2 with explicit inverted-residual wiring. */
+Graph mobilenetV2Graph(unsigned batch, DataType dt = DataType::Fp16);
+
+/** BERT encoder stack as a DAG (QKV split, two-operand attention). */
+Graph bertGraph(const std::string &name, unsigned batch,
+                unsigned seq_len, unsigned hidden, unsigned layers,
+                unsigned heads, unsigned ffn,
+                DataType dt = DataType::Fp16);
+
+/** BERT-Base (12 x 768, 12 heads, 3072 FFN). */
+Graph bertBaseGraph(unsigned batch, unsigned seq_len = 384,
+                    DataType dt = DataType::Fp16);
+
+/** BERT-Large (24 x 1024, 16 heads, 4096 FFN). */
+Graph bertLargeGraph(unsigned batch, unsigned seq_len = 384,
+                     DataType dt = DataType::Fp16);
+
+/** VGG16 (a pure chain: the degenerate DAG). */
+Graph vgg16Graph(unsigned batch, DataType dt = DataType::Fp16);
+
+/** Always-on gesture CNN (int8 chain). */
+Graph gestureNetGraph(unsigned batch);
+
+} // namespace zoo
+} // namespace graph
+} // namespace ascend
+
+#endif // ASCEND_GRAPH_ZOO_GRAPHS_HH

@@ -108,6 +108,7 @@ processName(std::uint32_t pid)
       case Domain::Kernel:  return "des kernel (ns)";
       case Domain::Serving: return "serving fleet (ns)";
       case Domain::Surrogate: return "surrogate (cycles)";
+      case Domain::Graph:   return "graph lowering (cycles)";
     }
     return "?";
 }
@@ -130,6 +131,7 @@ trackName(std::uint32_t pid, std::uint32_t tid)
         return tid == 1 ? "fleet"
                         : "replica" + std::to_string(tid - 2);
       case Domain::Surrogate: return "layers";
+      case Domain::Graph:   return "nodes";
     }
     return "?";
 }

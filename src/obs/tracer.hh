@@ -68,6 +68,7 @@ enum class Domain : std::uint32_t {
     Kernel = 6,  ///< des kernel phases; timestamps in nanoseconds
     Serving = 7, ///< fleet serving sim; timestamps in nanoseconds
     Surrogate = 8, ///< surrogate cost model; timestamps in core cycles
+    Graph = 9,   ///< graph lowering; timestamps in core cycles
 };
 
 /** One completed interval on a (domain, track) timeline. */

@@ -137,6 +137,25 @@ atomicSurrogateCounters()
     return t;
 }
 
+/** Relaxed atomic mirror of GraphCounters. */
+struct AtomicGraphCounters
+{
+    std::atomic<std::uint64_t> graphsLowered{0};
+    std::atomic<std::uint64_t> nodesLowered{0};
+    std::atomic<std::uint64_t> layersLowered{0};
+    std::atomic<std::uint64_t> structuralElided{0};
+    std::atomic<std::uint64_t> graphCacheHits{0};
+    std::atomic<std::uint64_t> agrParses{0};
+    std::atomic<std::uint64_t> agrPrints{0};
+};
+
+AtomicGraphCounters &
+atomicGraphCounters()
+{
+    static AtomicGraphCounters t;
+    return t;
+}
+
 /** Relaxed atomic mirror of KernelCounters. */
 struct AtomicKernelCounters
 {
@@ -308,6 +327,49 @@ resetServingTotals()
     t.failovers = 0;
     t.autoscaleUps = 0;
     t.checkpointsSaved = 0;
+}
+
+void
+chargeGraph(const GraphCounters &delta)
+{
+    AtomicGraphCounters &t = atomicGraphCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    t.graphsLowered.fetch_add(delta.graphsLowered, relaxed);
+    t.nodesLowered.fetch_add(delta.nodesLowered, relaxed);
+    t.layersLowered.fetch_add(delta.layersLowered, relaxed);
+    t.structuralElided.fetch_add(delta.structuralElided, relaxed);
+    t.graphCacheHits.fetch_add(delta.graphCacheHits, relaxed);
+    t.agrParses.fetch_add(delta.agrParses, relaxed);
+    t.agrPrints.fetch_add(delta.agrPrints, relaxed);
+}
+
+GraphCounters
+graphTotals()
+{
+    const AtomicGraphCounters &t = atomicGraphCounters();
+    constexpr auto relaxed = std::memory_order_relaxed;
+    GraphCounters out;
+    out.graphsLowered = t.graphsLowered.load(relaxed);
+    out.nodesLowered = t.nodesLowered.load(relaxed);
+    out.layersLowered = t.layersLowered.load(relaxed);
+    out.structuralElided = t.structuralElided.load(relaxed);
+    out.graphCacheHits = t.graphCacheHits.load(relaxed);
+    out.agrParses = t.agrParses.load(relaxed);
+    out.agrPrints = t.agrPrints.load(relaxed);
+    return out;
+}
+
+void
+resetGraphTotals()
+{
+    AtomicGraphCounters &t = atomicGraphCounters();
+    t.graphsLowered = 0;
+    t.nodesLowered = 0;
+    t.layersLowered = 0;
+    t.structuralElided = 0;
+    t.graphCacheHits = 0;
+    t.agrParses = 0;
+    t.agrPrints = 0;
 }
 
 void
@@ -531,6 +593,23 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
                         std::to_string(srv.autoscaleUps),
                         std::to_string(srv.checkpointsSaved) +
                             " checkpoints"});
+    }
+    const GraphCounters grf = graphTotals();
+    if (grf.graphsLowered || grf.graphCacheHits || grf.agrParses ||
+        grf.agrPrints) {
+        rows.push_back({"graph lowerings",
+                        std::to_string(grf.graphsLowered),
+                        std::to_string(grf.graphCacheHits) +
+                            " cache hits"});
+        rows.push_back({"graph nodes",
+                        std::to_string(grf.nodesLowered),
+                        std::to_string(grf.layersLowered) +
+                            " layers, " +
+                            std::to_string(grf.structuralElided) +
+                            " structural"});
+        rows.push_back({"graph agr io",
+                        std::to_string(grf.agrParses) + " parsed",
+                        std::to_string(grf.agrPrints) + " printed"});
     }
     const ResilienceCounters res = resilienceTotals();
     if (res.elasticRuns) {

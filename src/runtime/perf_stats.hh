@@ -256,6 +256,34 @@ SurrogateCounters surrogateTotals();
 /** Zero the surrogate totals (tests isolate themselves with this). */
 void resetSurrogateTotals();
 
+/**
+ * Process-wide graph-front-end totals, accumulated from every
+ * graph::runGraph lowering and `.agr` importer call. Sim-structure
+ * counters like PipeTotals: deterministic for a fixed workload at any
+ * thread count (except graphCacheHits, which — like SimCache's own
+ * counters — can vary when concurrent misses race; it surfaces only
+ * in the stderr stats report).
+ */
+struct GraphCounters
+{
+    std::uint64_t graphsLowered = 0;  ///< lowering passes run
+    std::uint64_t nodesLowered = 0;   ///< DAG nodes walked
+    std::uint64_t layersLowered = 0;  ///< compute layers produced
+    std::uint64_t structuralElided = 0; ///< concat/split wiring nodes
+    std::uint64_t graphCacheHits = 0; ///< whole-graph memo hits
+    std::uint64_t agrParses = 0;      ///< `.agr` texts parsed
+    std::uint64_t agrPrints = 0;      ///< `.agr` texts printed
+};
+
+/** Accumulate @p delta into the process-wide graph totals. */
+void chargeGraph(const GraphCounters &delta);
+
+/** Point-in-time copy of the graph totals. */
+GraphCounters graphTotals();
+
+/** Zero the graph totals (tests isolate themselves with this). */
+void resetGraphTotals();
+
 /** Accumulate @p delta into the process-wide kernel totals. */
 void chargeKernel(const KernelCounters &delta);
 

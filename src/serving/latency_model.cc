@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "graph/lower.hh"
 
 namespace ascend {
 namespace serving {
@@ -60,6 +61,24 @@ BatchLatencyModel::fromNetwork(
     for (unsigned b : batches) {
         const core::SimResult r =
             session.inferenceResult(builder(b));
+        pts.emplace_back(b, r.seconds(clock_ghz));
+    }
+    return fromPoints(std::move(pts));
+}
+
+BatchLatencyModel
+BatchLatencyModel::fromGraph(
+    const runtime::SimSession &session,
+    const std::function<graph::Graph(unsigned)> &builder,
+    const std::vector<unsigned> &batches, double clock_ghz)
+{
+    simAssert(!batches.empty(), "need at least one anchor batch");
+    simAssert(clock_ghz > 0, "clock must be positive");
+    std::vector<std::pair<unsigned, double>> pts;
+    pts.reserve(batches.size());
+    for (unsigned b : batches) {
+        const core::SimResult r =
+            graph::graphResult(session, builder(b));
         pts.emplace_back(b, r.seconds(clock_ghz));
     }
     return fromPoints(std::move(pts));

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph.hh"
 #include "model/network.hh"
 #include "runtime/sim_session.hh"
 
@@ -61,6 +62,20 @@ class BatchLatencyModel
     fromNetwork(const runtime::SimSession &session,
                 const std::function<model::Network(unsigned)> &builder,
                 const std::vector<unsigned> &batches, double clock_ghz);
+
+    /**
+     * fromNetwork for graph-IR workloads: each anchor lowers
+     * builder(b) through graph::graphResult, so KV-cache decoders and
+     * other DAG-shaped models (graph/decoder.hh) feed the fleet
+     * simulator exactly like the legacy zoo networks. Anchors reuse
+     * denseAnchors() and the whole-graph SimCache memo; a graph that
+     * re-expresses a Network produces the identical curve (the
+     * differential tests guarantee identical cycles).
+     */
+    static BatchLatencyModel
+    fromGraph(const runtime::SimSession &session,
+              const std::function<graph::Graph(unsigned)> &builder,
+              const std::vector<unsigned> &batches, double clock_ghz);
 
     /**
      * Anchor batch sizes for a dense curve up to @p max_batch: every

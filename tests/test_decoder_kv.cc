@@ -1,0 +1,241 @@
+/**
+ * @file
+ * KV-cache decoder workload tests: phase graph shapes, decode-cycle
+ * monotonicity in context length, the closed-form cache footprint
+ * against the graph's own tensors and the LLC residency model, the
+ * prefill-vs-decode crossover, and surrogate-tier accuracy on the
+ * decoder's thin GEMV shapes.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/decoder.hh"
+#include "graph/lower.hh"
+#include "memory/llc.hh"
+#include "runtime/sim_session.hh"
+#include "soc/training_soc.hh"
+#include "surrogate/surrogate.hh"
+
+using namespace ascend;
+
+namespace {
+
+/** A small decoder that keeps exact simulation fast. */
+graph::DecoderConfig
+smallDecoder()
+{
+    graph::DecoderConfig cfg;
+    cfg.name = "tiny_decoder";
+    cfg.batch = 1;
+    cfg.hidden = 256;
+    cfg.heads = 4;
+    cfg.ffn = 1024;
+    cfg.blocks = 2;
+    cfg.vocab = 4096;
+    return cfg;
+}
+
+runtime::SimSession
+makeSession(surrogate::SurrogateOptions sur = {})
+{
+    return runtime::SimSession(
+        soc::TrainingSoc().coreConfig(), {},
+        std::make_shared<runtime::SimCache>(), {}, sur);
+}
+
+// ------------------------------------------------- graph shapes
+
+TEST(DecoderGraphs, PhasesLowerToDifferentShapes)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    const graph::Graph prefill = graph::prefillGraph(cfg, 64);
+    const graph::Graph decode = graph::decodeGraph(cfg, 65);
+    EXPECT_NO_THROW(prefill.validate());
+    EXPECT_NO_THROW(decode.validate());
+    EXPECT_NE(prefill.fingerprint(), decode.fingerprint());
+
+    // Decode carries 2 cache inputs per block next to the token.
+    unsigned inputs = 0;
+    for (const auto &t : decode.tensors)
+        if (t.producer < 0)
+            ++inputs;
+    EXPECT_EQ(inputs, 1 + 2 * cfg.blocks);
+
+    // Both phases are multi-output: logits plus 2 caches per block.
+    EXPECT_EQ(prefill.outputs.size(), 1 + 2 * cfg.blocks);
+    EXPECT_EQ(decode.outputs.size(), 1 + 2 * cfg.blocks);
+
+    // Prefill runs big GEMMs (m = tokens); decode runs m = batch.
+    const model::Network pn = graph::toNetwork(prefill);
+    const model::Network dn = graph::toNetwork(decode);
+    const auto gemmM = [](const model::Network &n,
+                          const char *name) -> std::uint64_t {
+        for (const auto &l : n.layers)
+            if (l.name == name)
+                return l.gemmM;
+        return 0;
+    };
+    EXPECT_EQ(gemmM(pn, "blk0.qkv"), 64u);
+    EXPECT_EQ(gemmM(dn, "blk0.qkv"), 1u);
+}
+
+TEST(DecoderGraphs, DecodeAttentionReadsTheWholeContext)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    const unsigned ctx = 100;
+    const model::Network net =
+        graph::toNetwork(graph::decodeGraph(cfg, ctx));
+    for (const auto &l : net.layers)
+        if (l.name == "blk0.scores") {
+            EXPECT_EQ(l.gemmM, 1u);
+            EXPECT_EQ(l.gemmN, ctx);
+            EXPECT_EQ(l.gemmK, cfg.headDim());
+            EXPECT_EQ(l.matmulCount,
+                      std::uint64_t(cfg.batch) * cfg.heads);
+            return;
+        }
+    FAIL() << "blk0.scores not lowered";
+}
+
+// -------------------------------------------------- monotonicity
+
+TEST(DecoderCycles, DecodeMonotoneInContextLength)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    const runtime::SimSession session = makeSession();
+    Cycles prev = 0;
+    for (const unsigned ctx : {1u, 32u, 128u, 512u, 2048u}) {
+        const Cycles c =
+            graph::graphResult(session, graph::decodeGraph(cfg, ctx))
+                .totalCycles;
+        EXPECT_GE(c, prev) << "ctx " << ctx;
+        prev = c;
+    }
+}
+
+TEST(DecoderCycles, PrefillBeatsTokenByTokenReplay)
+{
+    // Prefill amortizes weight traffic over the whole prompt: one
+    // prefill over n tokens must cost (much) less than n decode steps
+    // at the same final context — the ratio bench_ratio_decoder
+    // reports. One conservative bound that must always hold: prefill
+    // over n tokens beats n times the *final* (largest) decode step.
+    const graph::DecoderConfig cfg = smallDecoder();
+    const unsigned n = 64;
+    const runtime::SimSession session = makeSession();
+    const Cycles prefill =
+        graph::graphResult(session, graph::prefillGraph(cfg, n))
+            .totalCycles;
+    const Cycles decode =
+        graph::graphResult(session, graph::decodeGraph(cfg, n))
+            .totalCycles;
+    EXPECT_LT(prefill, std::uint64_t(n) * decode);
+}
+
+// ------------------------------------------------- KV footprint
+
+TEST(KvFootprint, ClosedFormMatchesTheGraphTensors)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    for (const unsigned ctx : {1u, 17u, 256u}) {
+        const graph::Graph g = graph::decodeGraph(cfg, ctx);
+        // Sum the updated-cache output tensors (every output except
+        // the logits).
+        Bytes cacheBytes = 0;
+        for (const graph::TensorId t : g.outputs)
+            if (g.tensors[t].name != "lm_head:0")
+                cacheBytes += g.tensors[t].bytes();
+        EXPECT_EQ(cacheBytes, graph::kvCacheBytes(cfg, ctx))
+            << "ctx " << ctx;
+    }
+}
+
+TEST(KvFootprint, ClosedFormScalesLinearly)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    const Bytes one = graph::kvCacheBytes(cfg, 1);
+    EXPECT_EQ(graph::kvCacheBytes(cfg, 1000), 1000 * one);
+    EXPECT_EQ(one, 2ull * cfg.blocks *
+                       bytesOf(cfg.dtype, std::uint64_t(cfg.batch) *
+                                              cfg.hidden));
+}
+
+TEST(KvResidency, ResidentCachesHitAndOverflowingCachesStream)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    memory::LlcConfig llc;
+    llc.capacity = 4 * kMiB;
+    llc.lineBytes = 4 * kKiB;
+    llc.ways = 16;
+
+    // Small context: the whole cache is LLC-resident; the re-read
+    // after the warming sweep hits every line.
+    const graph::KvResidency small =
+        graph::kvResidency(cfg, 128, llc);
+    EXPECT_TRUE(small.fits);
+    EXPECT_DOUBLE_EQ(small.rereadHitRate, 1.0);
+    EXPECT_EQ(small.kvBytes, graph::kvCacheBytes(cfg, 128));
+    EXPECT_EQ(small.lines,
+              (small.kvBytes + llc.lineBytes - 1) / llc.lineBytes);
+
+    // Huge context: footprint exceeds capacity, and the linear
+    // re-read thrashes LRU — the streaming worst case.
+    const graph::KvResidency big =
+        graph::kvResidency(cfg, 100000, llc);
+    EXPECT_FALSE(big.fits);
+    EXPECT_GT(big.kvBytes, llc.capacity);
+    EXPECT_LT(big.rereadHitRate, 0.01);
+}
+
+TEST(KvResidency, CapacityLadderRecoversResidency)
+{
+    // The Section 4.1 story retold for KV caches: a context that
+    // spills a 96 MB LLC fits the 720 MB 3D-SRAM tier.
+    graph::DecoderConfig cfg;
+    cfg.hidden = 4096;
+    cfg.heads = 32;
+    cfg.ffn = 16384;
+    cfg.blocks = 32;
+
+    memory::LlcConfig base;   // 96 MiB default
+    memory::LlcConfig threeD; // the stacked-SRAM design point
+    threeD.capacity = 720 * kMiB;
+
+    const unsigned ctx = 256;
+    const graph::KvResidency onBase =
+        graph::kvResidency(cfg, ctx, base);
+    const graph::KvResidency on3d =
+        graph::kvResidency(cfg, ctx, threeD);
+    EXPECT_FALSE(onBase.fits);
+    EXPECT_TRUE(on3d.fits);
+    EXPECT_DOUBLE_EQ(on3d.rereadHitRate, 1.0);
+    EXPECT_GT(onBase.rereadHitRate, -1.0); // defined either way
+}
+
+// -------------------------------------------------- surrogate
+
+TEST(DecoderSurrogate, PredictionsStayInsideTheErrorBudget)
+{
+    const graph::DecoderConfig cfg = smallDecoder();
+    surrogate::SurrogateOptions sur;
+    sur.enabled = true;
+    sur.errBudget = 0.02;
+
+    const runtime::SimSession exact = makeSession();
+    const runtime::SimSession tiered = makeSession(sur);
+    for (const unsigned ctx : {48u, 96u, 192u}) {
+        const graph::Graph g = graph::decodeGraph(cfg, ctx);
+        const double want = double(
+            graph::graphResult(exact, g).totalCycles);
+        const double got = double(
+            graph::graphResult(tiered, g).totalCycles);
+        EXPECT_LE(std::abs(got - want) / want, 0.02)
+            << "ctx " << ctx;
+    }
+}
+
+} // namespace
