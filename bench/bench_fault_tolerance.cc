@@ -30,6 +30,7 @@
 #include "cluster/elastic_run.hh"
 #include "cluster/fault_collective.hh"
 #include "memory/dram.hh"
+#include "resilience/fault_domain.hh"
 #include "resilience/fault_schedule.hh"
 #include "resilience/policy.hh"
 #include "soc/chip_sim.hh"
@@ -93,6 +94,12 @@ trainingSweep(bool smoke)
         spec.linkDownPerSec = pt.linkDownPerSec;
         spec.linkDegradePerSec = pt.linkDownPerSec / 2;
         const FaultSchedule faults = FaultSchedule::generate(spec);
+        // The printed fault axis is whole-schedule events per
+        // sim-second — the same unit BENCH_resilience.json reports —
+        // not the per-link input rate (which silently excluded the
+        // derived degrade stream).
+        const double eventsPerSec =
+            double(faults.events().size()) / spec.horizonSec;
         const RetryPolicy retry;
         const CheckpointPolicy checkpoint;
 
@@ -112,7 +119,7 @@ trainingSweep(bool smoke)
             ? 100.0 * clean.seconds / std::max(run.seconds, 1e-12)
             : 0.0;
         rows[i] = {TextTable::num(std::uint64_t(pt.chips)),
-                   TextTable::num(pt.linkDownPerSec, 1),
+                   TextTable::num(eventsPerSec, 2),
                    toString(pt.mode),
                    TextTable::num(std::uint64_t(run.stepsDone)) + "/" +
                        TextTable::num(std::uint64_t(steps)),
@@ -124,7 +131,7 @@ trainingSweep(bool smoke)
     });
 
     TextTable t("training resilience");
-    t.header({"chips", "faults/s", "policy", "steps", "seconds",
+    t.header({"chips", "events/s", "policy", "steps", "seconds",
               "retries", "degraded", "img/s", "eff %"});
     for (const Row &row : rows)
         t.row(row);
@@ -293,8 +300,19 @@ struct ElasticPoint
     double seconds = 0;
     unsigned stepsDone = 0;
     bool completed = true;
+    /** Whole-schedule fault events per sim-second of its horizon —
+     *  the one fault-rate unit stdout and the JSON share. */
+    double faultEventsPerSimSec = 0;
     resilience::ElasticCounters counters;
 };
+
+/** Events per sim-second of @p faults over its horizon. */
+double
+eventsPerSimSec(const FaultSchedule &faults)
+{
+    const double horizon = faults.spec().horizonSec;
+    return horizon > 0 ? double(faults.events().size()) / horizon : 0;
+}
 
 /**
  * Fault-free vs. penalty-model vs. elastic makespans on one chaotic
@@ -365,6 +383,7 @@ elasticSweep(bool smoke)
         p.seconds = r.seconds;
         p.stepsDone = r.stepsDone;
         p.completed = r.completed;
+        p.faultEventsPerSimSec = eventsPerSimSec(faults);
         points.push_back(p);
     }
     const std::pair<const char *, const cluster::ElasticOptions *>
@@ -379,15 +398,45 @@ elasticSweep(bool smoke)
         p.seconds = r.seconds;
         p.stepsDone = r.stepsDone;
         p.completed = r.completed;
+        p.faultEventsPerSimSec = eventsPerSimSec(faults);
+        p.counters = r.counters;
+        points.push_back(p);
+    }
+    {
+        // Domain-correlated schedule: one rack strike kills half the
+        // servers at a single instant early in the run. The elastic
+        // engine must absorb several simultaneous deaths in one step
+        // (spares first, then a shrink for the remainder).
+        resilience::CorrelatedFaultSpec cspec;
+        cspec.seed = spec.seed;
+        cspec.horizonSec = spec.horizonSec;
+        cspec.topology.replicas = spec.cores;
+        cspec.topology.replicasPerRack =
+            std::max(1u, spec.cores / 2);
+        cspec.rackStrikeAtSec = 0.5;
+        cspec.rackStrikeKind = resilience::FaultKind::CorePermanent;
+        const FaultSchedule rack =
+            resilience::generateCorrelated(cspec);
+        ElasticPoint p;
+        p.name = "elastic (rack-correlated)";
+        const cluster::ElasticRunResult r = cluster::runElastic(
+            job, cl, chips, steps, rack, retry,
+            DegradedMode::ContinueDegraded, spares);
+        p.seconds = r.seconds;
+        p.stepsDone = r.stepsDone;
+        p.completed = r.completed;
+        p.faultEventsPerSimSec = eventsPerSimSec(rack);
         p.counters = r.counters;
         points.push_back(p);
     }
 
     TextTable t("elastic vs. penalty recovery");
-    t.header({"policy", "seconds", "steps", "failovers", "shrinks",
-              "rollbacks", "replayed", "speculations", "completed"});
+    t.header({"policy", "events/s", "seconds", "steps", "failovers",
+              "shrinks", "rollbacks", "replayed", "speculations",
+              "completed"});
     for (const ElasticPoint &p : points)
-        t.row({p.name, TextTable::num(p.seconds, 3),
+        t.row({p.name, TextTable::num(p.faultEventsPerSimSec, 2),
+               TextTable::num(p.seconds, 3),
                TextTable::num(std::uint64_t(p.stepsDone)) + "/" +
                    TextTable::num(std::uint64_t(steps)),
                TextTable::num(p.counters.failovers),
@@ -415,6 +464,8 @@ writeResilienceJson(const std::vector<ElasticPoint> &points)
             << "\", \"seconds\": " << p.seconds
             << ", \"steps_done\": " << p.stepsDone
             << ", \"completed\": " << (p.completed ? "true" : "false")
+            << ", \"fault_events_per_sim_sec\": "
+            << p.faultEventsPerSimSec
             << ", \"failovers\": " << p.counters.failovers
             << ", \"shrinks\": " << p.counters.shrinks
             << ", \"rollbacks\": " << p.counters.rollbacks

@@ -42,10 +42,12 @@
 
 #include "bench/bench_util.hh"
 #include "model/zoo.hh"
+#include "resilience/fault_domain.hh"
 #include "serving/fleet.hh"
 #include "soc/training_soc.hh"
 
 using namespace ascend;
+using resilience::CorrelatedFaultSpec;
 using resilience::FaultSchedule;
 using resilience::FaultSpec;
 using serving::ArrivalSpec;
@@ -193,9 +195,201 @@ printTable(const std::vector<Cell> &cells, bool faults_on,
     t.print(std::cout);
 }
 
+/**
+ * One correlated-chaos configuration and its outcome. The three
+ * defense levels bracket the metastable-failure story:
+ *  - undefended: no admission control at all — the rack outage's
+ *    backlog is never shed, every later request queues behind it, and
+ *    the fleet stays degraded long after the fault clears;
+ *  - governed: admission + deadline shedding with closed-loop clients
+ *    re-offering shed work — bounded tail, but the synchronized
+ *    re-offer wave costs goodput;
+ *  - defended: governed plus jittered backoff, per-replica circuit
+ *    breakers, and the brownout ladder (dispatching a cheaper model
+ *    under sustained overload) — the backlog drains while the outage
+ *    is still in progress.
+ */
+struct CorrCell
+{
+    std::string name;
+    FleetResult r;
+    /** Sim time after fault clearance until a full recovery window
+     *  (windowed p99 within bound); -1 = never recovered. */
+    double recoverySec = -1;
+    /** On-time completions per sim-second after fault clearance. */
+    double postGoodputRps = 0;
+};
+
+enum class Defense { Undefended, Governed, Defended };
+
+std::uint64_t
+faultSeedFromEnv()
+{
+    const char *env = std::getenv("ASCEND_FAULT_SEED");
+    return env && *env ? std::strtoull(env, nullptr, 10) : 17;
+}
+
+FleetOptions
+correlatedOptions(double batch_latency_sec, Defense defense,
+                  std::uint64_t seed)
+{
+    const double lb = batch_latency_sec;
+    FleetOptions o;
+    o.replicas = 8; // two racks of four
+    o.warmSpares = 0;
+    o.admission.enabled = defense != Defense::Undefended;
+    o.admission.slackFactor = 1.0;
+    o.retry.maxRetries = 3;
+    o.retry.timeoutSec = 0.5 * lb;
+    o.retry.backoffBaseSec = 0.1 * lb;
+    o.reoffer.enabled = true;
+    o.reoffer.delaySec = 2.0 * lb;
+    o.reoffer.maxReoffers = 2;
+    if (defense == Defense::Defended) {
+        o.retry.jitterFraction = 0.5;
+        o.retry.jitterSeed = seed;
+        o.health.enabled = true;
+        o.health.cooloffSec = 2.0 * lb;
+        o.brownout.enabled = true;
+        o.brownout.enterQueueDepthPerReplica = 16;
+        o.brownout.exitQueueDepthPerReplica = 2;
+        o.brownout.minResidencySec = 5.0 * lb;
+    }
+    return o;
+}
+
+/** Windowed-p99 recovery point and post-clear goodput rate. */
+void
+recoveryMetrics(CorrCell &c, double clear_sec, double window_sec,
+                double bound_sec)
+{
+    const FleetResult &r = c.r;
+    std::uint64_t on_time = 0;
+    for (std::size_t i = 0; i < r.completionsSec.size(); ++i)
+        if (r.completionsSec[i] > clear_sec && r.completedOnTime[i])
+            ++on_time;
+    const double span = std::max(r.makespanSec - clear_sec, 1e-12);
+    c.postGoodputRps = double(on_time) / span;
+
+    for (unsigned k = 0;; ++k) {
+        const double lo = clear_sec + double(k) * window_sec;
+        if (lo >= r.makespanSec)
+            return; // never recovered
+        const double hi = lo + window_sec;
+        std::vector<double> lat;
+        for (std::size_t i = 0; i < r.completionsSec.size(); ++i)
+            if (r.completionsSec[i] >= lo && r.completionsSec[i] < hi)
+                lat.push_back(r.latencies[i]);
+        if (lat.empty())
+            continue; // recovery needs evidence, not silence
+        std::sort(lat.begin(), lat.end());
+        const double p99 = lat[(lat.size() - 1) * 99 / 100];
+        if (p99 <= bound_sec) {
+            c.recoverySec = hi - clear_sec;
+            return;
+        }
+    }
+}
+
+/** Shared inputs of the three correlated-chaos cells. */
+struct CorrSetup
+{
+    std::uint64_t seed = 0;
+    std::string profile;
+    double clearSec = 0;  ///< last fault event fully over
+    double windowSec = 0; ///< recovery-scan window width
+    double boundSec = 0;  ///< windowed-p99 recovery bound
+    double recoveryWindowSec = 0; ///< CI bound on recoverySec
+};
+
+std::vector<CorrCell>
+correlatedSweep(const BatchLatencyModel &model,
+                const BatchLatencyModel &cheap, CorrSetup &setup)
+{
+    const double lb = model.latencySeconds(model.maxBatch());
+    const double sat = model.saturationRequestsPerSec(8);
+
+    // Flat arrivals just under saturation: the rack outage is the
+    // only disturbance, so recovery time is attributable to it.
+    ArrivalSpec arr;
+    arr.seed = 43;
+    arr.ratePerSec = 0.95 * sat;
+    arr.horizonSec = 100.0 * lb;
+
+    const std::vector<QosTier> tiers = sweepTiers(lb);
+    const std::vector<Request> arrivals =
+        serving::generateArrivals(arr, tiers);
+
+    CorrelatedFaultSpec cspec;
+    cspec.seed = setup.seed;
+    cspec.horizonSec = arr.horizonSec;
+    cspec.topology.replicas = 8;
+    cspec.topology.replicasPerRack = 4;
+    if (!resilience::applyFaultProfile(cspec, setup.profile))
+        fatal("unknown ASCEND_FAULT_PROFILE '%s'",
+              setup.profile.c_str());
+    const FaultSchedule faults =
+        resilience::generateCorrelated(cspec);
+
+    setup.clearSec = 0;
+    for (const resilience::FaultEvent &e : faults.events())
+        setup.clearSec =
+            std::max(setup.clearSec, e.timeSec + e.durationSec);
+    setup.windowSec = 5.0 * lb;
+    setup.boundSec = tiers[0].deadlineSec + lb;
+    setup.recoveryWindowSec = 3.0 * setup.windowSec;
+
+    const struct
+    {
+        const char *name;
+        Defense defense;
+    } kCells[] = {{"undefended", Defense::Undefended},
+                  {"governed", Defense::Governed},
+                  {"defended", Defense::Defended}};
+    std::vector<CorrCell> cells;
+    for (const auto &k : kCells) {
+        CorrCell c;
+        c.name = k.name;
+        const FleetOptions o =
+            correlatedOptions(lb, k.defense, setup.seed);
+        c.r = serving::runFleet(
+            arrivals, tiers, model, faults, o,
+            k.defense == Defense::Defended ? &cheap : nullptr);
+        recoveryMetrics(c, setup.clearSec, setup.windowSec,
+                        setup.boundSec);
+        cells.push_back(std::move(c));
+    }
+    return cells;
+}
+
+void
+printCorrelated(const std::vector<CorrCell> &cells,
+                const CorrSetup &setup)
+{
+    TextTable t("correlated rack outage (profile " + setup.profile +
+                ", seed " + std::to_string(setup.seed) +
+                "): clear " + ms(setup.clearSec) +
+                " ms, recovery bound p99 <= " + ms(setup.boundSec) +
+                " ms");
+    t.header({"defense", "offered", "shed", "reoffer", "goodput",
+              "brownout", "breaker", "p99 ms", "recover ms",
+              "post-rps"});
+    for (const CorrCell &c : cells)
+        t.row({c.name, TextTable::num(c.r.offered),
+               TextTable::num(c.r.shed),
+               TextTable::num(c.r.reoffered),
+               TextTable::num(c.r.goodput),
+               TextTable::num(c.r.brownoutGoodput),
+               TextTable::num(c.r.breakerTrips), ms(c.r.p99),
+               c.recoverySec < 0 ? "never" : ms(c.recoverySec),
+               TextTable::num(c.postGoodputRps, 1)});
+    t.print(std::cout);
+}
+
 void
 writeJson(const std::vector<Cell> &cells, double saturation_rps,
-          double slo_sec, double p99_bound_sec)
+          double slo_sec, double p99_bound_sec,
+          const std::vector<CorrCell> &corr, const CorrSetup &setup)
 {
     std::ofstream out("BENCH_serving.json");
     out << "{\n  \"saturation_rps\": " << saturation_rps
@@ -221,10 +415,36 @@ writeJson(const std::vector<Cell> &cells, double saturation_rps,
             << ", \"hedges\": " << c.r.hedges
             << ", \"failures\": " << c.r.replicaFailures
             << ", \"failovers\": " << c.r.failovers
-            << ", \"autoscale_ups\": " << c.r.autoscaleUps << "}"
-            << (i + 1 < cells.size() ? "," : "") << "\n";
+            << ", \"autoscale_ups\": " << c.r.autoscaleUps
+            << ", \"brownout_goodput\": " << c.r.brownoutGoodput
+            << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"correlated\": {\n    \"seed\": " << setup.seed
+        << ",\n    \"profile\": \"" << setup.profile
+        << "\",\n    \"clear_sec\": " << setup.clearSec
+        << ",\n    \"window_sec\": " << setup.windowSec
+        << ",\n    \"recovery_bound_sec\": " << setup.boundSec
+        << ",\n    \"recovery_window_sec\": "
+        << setup.recoveryWindowSec << ",\n    \"cells\": [\n";
+    for (std::size_t i = 0; i < corr.size(); ++i) {
+        const CorrCell &c = corr[i];
+        out << "      {\"name\": \"" << c.name
+            << "\", \"offered\": " << c.r.offered
+            << ", \"shed\": " << c.r.shed
+            << ", \"completed\": " << c.r.completed
+            << ", \"goodput\": " << c.r.goodput
+            << ", \"reoffered\": " << c.r.reoffered
+            << ", \"breaker_trips\": " << c.r.breakerTrips
+            << ", \"brownout_entries\": " << c.r.brownoutEntries
+            << ", \"brownout_goodput\": " << c.r.brownoutGoodput
+            << ", \"brownout_sec\": " << c.r.brownoutSec
+            << ", \"p99_sec\": " << c.r.p99
+            << ", \"makespan_sec\": " << c.r.makespanSec
+            << ", \"recovery_sec\": " << c.recoverySec
+            << ", \"post_goodput_rps\": " << c.postGoodputRps << "}"
+            << (i + 1 < corr.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }\n}\n";
     // stderr: keep the diffable stdout byte-identical.
     std::cerr << "wrote BENCH_serving.json\n";
 }
@@ -275,7 +495,26 @@ sweep()
                  "the ungoverned fleet's\ntail grows with every "
                  "queued request. failures cost failovers and "
                  "retries,\nnot lost requests.\n";
-    writeJson(cells, sat, slo, slo + lb);
+
+    // Correlated-chaos sweep: one rack outage against three defense
+    // levels. The brownout ladder's cheaper rung is mobilenetV2 on
+    // the same core, measured through the same surrogate session.
+    const BatchLatencyModel cheap = BatchLatencyModel::fromNetwork(
+        session,
+        [](unsigned batch) { return model::zoo::mobilenetV2(batch); },
+        BatchLatencyModel::denseAnchors(16),
+        session.config().clockGhz);
+    CorrSetup setup;
+    setup.seed = faultSeedFromEnv();
+    setup.profile = resilience::faultProfileFromEnv("rack");
+    const std::vector<CorrCell> corr =
+        correlatedSweep(model, cheap, setup);
+    printCorrelated(corr, setup);
+    std::cout << "defenses (jitter + breakers + brownout) drain the "
+                 "rack outage's backlog\nwhile it is still in "
+                 "progress; the undefended fleet stays degraded "
+                 "long\nafter the fault clears.\n";
+    writeJson(cells, sat, slo, slo + lb, corr, setup);
     return 0;
 }
 

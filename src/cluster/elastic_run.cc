@@ -144,7 +144,10 @@ runFingerprint(const TrainingJob &job, const ClusterConfig &cluster,
     putBits(s, retry.degradedBandwidthFactor);
     putU64(s, std::uint64_t(mode));
     s += fingerprint(options);
-    s += resilience::fingerprint(faults.spec());
+    // The schedule's own fingerprint, not fingerprint(spec()):
+    // correlated schedules (resilience::generateCorrelated) carry an
+    // identity their nominal spec alone cannot reproduce.
+    s += faults.fingerprint();
     s += clusterConfigToString(cluster);
     return s;
 }
@@ -303,78 +306,99 @@ struct Engine
     }
 
     /**
-     * Apply the single next due node-permanent failure (one poll
-     * dispatch's worth). @return true when the whole world died.
+     * Apply every node-permanent failure due at the next due instant
+     * (one poll dispatch's worth). Independent schedules place one
+     * event per instant and behave exactly as before. A correlated
+     * domain event (a rack or power strike from fault_domain.hh)
+     * lands several deaths at one shared instant; their recoveries
+     * proceed in parallel — each spare receives its shard over its
+     * own uplink — so the step pays the slowest single recovery, not
+     * the serialized sum. @return true when the whole world died.
      */
     bool
     applyOneNodeFailure()
     {
-        const FaultEvent e = nodeFail[s.nodeEventCursor++];
-        unsigned slot = kDeadSlot;
-        for (unsigned i = 0; i < unsigned(s.activeNodes.size()); ++i)
-            if (s.activeNodes[i] == e.target) {
-                slot = i;
-                break;
-            }
-        if (slot == kDeadSlot)
-            return false; // machine already dead or replaced
+        const double due = nodeFail[s.nodeEventCursor].timeSec;
         const double t0 = s.simTimeSec;
-        if (s.sparesLeft > 0) {
-            const unsigned spare =
-                spareBase +
-                unsigned(options.spareNodes - s.sparesLeft);
-            --s.sparesLeft;
-            s.activeNodes[slot] = spare;
-            // Ship the shard's state to the warm spare over its
-            // fat-tree uplink, then re-setup.
-            double cost = options.failoverRestartSec;
-            if (options.stateBytes)
-                cost += double(options.stateBytes) /
-                            cluster.netBytesPerSec +
-                        cluster.netLatencySec;
-            const std::string line =
-                eventPrefix() + "failover slot " +
-                std::to_string(slot) + " phys " +
-                std::to_string(e.target) + " -> spare " +
-                std::to_string(spare) + " cost " +
-                formatSeconds(cost);
-            s.simTimeSec += cost;
-            ++s.counters.failovers;
-            ++s.counters.sparesUsed;
-            traceRecovery("elastic.failover", t0, s.simTimeSec,
-                          options.stateBytes);
-            appendEvent(line);
-        } else {
-            s.activeNodes[slot] = kDeadSlot;
-            ++s.counters.shrinks;
-            ++s.counters.spareExhausted;
-            const unsigned survivors = aliveNodes();
-            if (survivors == 0) {
-                const std::string line =
-                    eventPrefix() + "world died at slot " +
-                    std::to_string(slot);
-                appendEvent(line);
-                return true;
+        double cost = 0;
+        struct PendingTrace
+        {
+            const char *name;
+            double endSec;
+            std::uint64_t bytes;
+        };
+        std::vector<PendingTrace> traces;
+        while (s.nodeEventCursor < nodeFail.size() &&
+               nodeFail[s.nodeEventCursor].timeSec == due) {
+            const FaultEvent e = nodeFail[s.nodeEventCursor++];
+            unsigned slot = kDeadSlot;
+            for (unsigned i = 0;
+                 i < unsigned(s.activeNodes.size()); ++i)
+                if (s.activeNodes[i] == e.target) {
+                    slot = i;
+                    break;
+                }
+            if (slot == kDeadSlot)
+                continue; // machine already dead or replaced
+            if (s.sparesLeft > 0) {
+                const unsigned spare =
+                    spareBase +
+                    unsigned(options.spareNodes - s.sparesLeft);
+                --s.sparesLeft;
+                s.activeNodes[slot] = spare;
+                // Ship the shard's state to the warm spare over its
+                // fat-tree uplink, then re-setup.
+                double one = options.failoverRestartSec;
+                if (options.stateBytes)
+                    one += double(options.stateBytes) /
+                               cluster.netBytesPerSec +
+                           cluster.netLatencySec;
+                ++s.counters.failovers;
+                ++s.counters.sparesUsed;
+                appendEvent(eventPrefix() + "failover slot " +
+                            std::to_string(slot) + " phys " +
+                            std::to_string(e.target) + " -> spare " +
+                            std::to_string(spare) + " cost " +
+                            formatSeconds(one));
+                traces.push_back({"elastic.failover", t0 + one,
+                                  options.stateBytes});
+                cost = std::max(cost, one);
+            } else {
+                s.activeNodes[slot] = kDeadSlot;
+                ++s.counters.shrinks;
+                ++s.counters.spareExhausted;
+                const unsigned survivors = aliveNodes();
+                if (survivors == 0) {
+                    appendEvent(eventPrefix() +
+                                "world died at slot " +
+                                std::to_string(slot));
+                    return true;
+                }
+                // Survivors exchange the dead shard: one allreduce
+                // of the state over the remaining uplinks, then
+                // re-setup with the re-derived (smaller) collective
+                // schedule.
+                const double one =
+                    options.reshardRestartSec +
+                    ringAllreduceSeconds(options.stateBytes,
+                                         survivors,
+                                         cluster.netBytesPerSec,
+                                         cluster.netLatencySec);
+                appendEvent(eventPrefix() + "shrink slot " +
+                            std::to_string(slot) + " phys " +
+                            std::to_string(e.target) + " -> " +
+                            std::to_string(survivors) +
+                            " nodes cost " + formatSeconds(one));
+                traces.push_back({"elastic.reshard", t0 + one,
+                                  options.stateBytes});
+                cost = std::max(cost, one);
             }
-            // Survivors exchange the dead shard: one allreduce of
-            // the state over the remaining uplinks, then re-setup
-            // with the re-derived (smaller) collective schedule.
-            const double cost =
-                options.reshardRestartSec +
-                ringAllreduceSeconds(options.stateBytes, survivors,
-                                     cluster.netBytesPerSec,
-                                     cluster.netLatencySec);
-            const std::string line =
-                eventPrefix() + "shrink slot " +
-                std::to_string(slot) + " phys " +
-                std::to_string(e.target) + " -> " +
-                std::to_string(survivors) + " nodes cost " +
-                formatSeconds(cost);
-            s.simTimeSec += cost;
-            traceRecovery("elastic.reshard", t0, s.simTimeSec,
-                          options.stateBytes);
-            appendEvent(line);
         }
+        if (traces.empty())
+            return false; // every target was already dead
+        s.simTimeSec = t0 + cost;
+        for (const PendingTrace &tr : traces)
+            traceRecovery(tr.name, t0, tr.endSec, tr.bytes);
         return false;
     }
 

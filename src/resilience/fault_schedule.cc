@@ -39,6 +39,17 @@ FaultSpec::empty() const
 
 namespace {
 
+/** Canonical event order: (time, target, kind). */
+bool
+eventBefore(const FaultEvent &a, const FaultEvent &b)
+{
+    if (a.timeSec != b.timeSec)
+        return a.timeSec < b.timeSec;
+    if (a.target != b.target)
+        return a.target < b.target;
+    return unsigned(a.kind) < unsigned(b.kind);
+}
+
 /**
  * A private RNG stream per (seed, kind, target): the schedule for one
  * target never depends on how many other targets exist or in which
@@ -106,14 +117,24 @@ FaultSchedule::generate(const FaultSpec &spec)
     emitSeries(out, spec, FaultKind::EccUncorrectable, 0,
                spec.eccUncorrectablePerSec, 0.0, 1.0);
 
-    std::sort(out.begin(), out.end(),
-              [](const FaultEvent &a, const FaultEvent &b) {
-                  if (a.timeSec != b.timeSec)
-                      return a.timeSec < b.timeSec;
-                  if (a.target != b.target)
-                      return a.target < b.target;
-                  return unsigned(a.kind) < unsigned(b.kind);
-              });
+    std::sort(out.begin(), out.end(), eventBefore);
+    return schedule;
+}
+
+FaultSchedule
+FaultSchedule::fromEvents(const FaultSpec &meta,
+                          std::vector<FaultEvent> events,
+                          std::string fingerprint)
+{
+    FaultSchedule schedule;
+    schedule.spec_ = meta;
+    schedule.events_ = std::move(events);
+    schedule.fingerprintOverride_ = std::move(fingerprint);
+    // stable: events from different domain streams can tie on the
+    // full (time, target, kind) key, and the caller's order is the
+    // only deterministic tiebreak left.
+    std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                     eventBefore);
     return schedule;
 }
 
@@ -209,7 +230,9 @@ fingerprint(const FaultSpec &spec)
 std::string
 FaultSchedule::fingerprint() const
 {
-    return resilience::fingerprint(spec_);
+    return fingerprintOverride_.empty()
+               ? resilience::fingerprint(spec_)
+               : fingerprintOverride_;
 }
 
 bool

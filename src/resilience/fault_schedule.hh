@@ -111,6 +111,19 @@ class FaultSchedule
     /** Deterministically expand @p spec into concrete events. */
     static FaultSchedule generate(const FaultSpec &spec);
 
+    /**
+     * Wrap externally generated @p events (canonically re-sorted)
+     * under the metadata of @p meta and the identity @p fingerprint.
+     * The correlated generator (fault_domain.hh) builds schedules this
+     * way: consumers keep reading spec() for fleet-facing metadata
+     * (cores, horizon), while fingerprint() reports the override so
+     * correlated runs never alias independent ones in cache keys or
+     * checkpoint identities.
+     */
+    static FaultSchedule fromEvents(const FaultSpec &meta,
+                                    std::vector<FaultEvent> events,
+                                    std::string fingerprint);
+
     const FaultSpec &spec() const { return spec_; }
     const std::vector<FaultEvent> &events() const { return events_; }
     bool empty() const { return events_.empty(); }
@@ -125,14 +138,16 @@ class FaultSchedule
     double stragglerFactor(unsigned core) const;
 
     /**
-     * Exact serialization of the generating spec; mixed into SimCache
-     * keys so faulty runs never alias fault-free entries.
+     * Exact serialization of the generating spec (or the fromEvents
+     * override); mixed into SimCache keys so faulty runs never alias
+     * fault-free entries.
      */
     std::string fingerprint() const;
 
   private:
     FaultSpec spec_;
     std::vector<FaultEvent> events_;
+    std::string fingerprintOverride_; ///< fromEvents identity
 };
 
 /** fingerprint of a spec without generating the schedule. */

@@ -43,6 +43,37 @@ retryDelaySeconds(const RetryPolicy &policy, unsigned attempt)
 }
 
 double
+retryJitterUnit(const RetryPolicy &policy, std::uint64_t key,
+                unsigned attempt)
+{
+    // FNV-1a over (jitterSeed, key, attempt), folded into the same
+    // 53-bit mantissa mapping Rng::uniformReal uses.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(policy.jitterSeed);
+    mix(key);
+    mix(attempt);
+    return double(h >> 11) * 0x1.0p-53;
+}
+
+double
+retryDelaySecondsJittered(const RetryPolicy &policy, unsigned attempt,
+                          std::uint64_t key)
+{
+    const double nominal = retryDelaySeconds(policy, attempt);
+    if (policy.jitterFraction <= 0)
+        return nominal;
+    const double f = std::min(policy.jitterFraction, 1.0);
+    return nominal *
+           (1.0 - f * retryJitterUnit(policy, key, attempt));
+}
+
+double
 retryCumulativeSeconds(const RetryPolicy &policy, unsigned attempts)
 {
     if (attempts == 0)

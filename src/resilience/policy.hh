@@ -54,7 +54,36 @@ struct RetryPolicy
      * answer in time. 0 disables the budget (maxRetries alone rules).
      */
     double giveUpAfterSeconds = 0;
+
+    /**
+     * Seeded backoff jitter, off by default. When > 0, retry number n
+     * of request key k sleeps retryDelaySeconds * (1 - f * u) where
+     * u in [0, 1) is a deterministic hash of (jitterSeed, k, n) and f
+     * is this fraction clamped to [0, 1]. A correlated fault drops
+     * many requests at one instant; identical backoff re-offers them
+     * in one synchronized wave — the seed of a retry storm. Jitter
+     * de-synchronizes the wave while only ever *shrinking* a sleep,
+     * so every closed form above (retryCumulativeSeconds as an upper
+     * bound, retryPermitted, retriesWithinBudget) still holds.
+     */
+    double jitterFraction = 0;
+    std::uint64_t jitterSeed = 0x5eed;
 };
+
+/**
+ * Deterministic jitter unit u in [0, 1) for (policy.jitterSeed,
+ * @p key, @p attempt). Pure arithmetic (FNV-1a bits into a mantissa);
+ * byte-stable across platforms and call order.
+ */
+double retryJitterUnit(const RetryPolicy &policy, std::uint64_t key,
+                       unsigned attempt);
+
+/**
+ * retryDelaySeconds scaled by the jitter of (@p key, @p attempt).
+ * Bit-identical to retryDelaySeconds when jitterFraction is 0.
+ */
+double retryDelaySecondsJittered(const RetryPolicy &policy,
+                                 unsigned attempt, std::uint64_t key);
 
 /** Backoff sleep before retry number @p attempt (0-based). */
 double retryDelaySeconds(const RetryPolicy &policy, unsigned attempt);

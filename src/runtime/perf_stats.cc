@@ -108,6 +108,9 @@ struct AtomicServingCounters
     std::atomic<std::uint64_t> failovers{0};
     std::atomic<std::uint64_t> autoscaleUps{0};
     std::atomic<std::uint64_t> checkpointsSaved{0};
+    std::atomic<std::uint64_t> reoffered{0};
+    std::atomic<std::uint64_t> breakerTrips{0};
+    std::atomic<std::uint64_t> brownoutEntries{0};
 };
 
 AtomicServingCounters &
@@ -288,6 +291,9 @@ chargeServing(const ServingCounters &delta)
     t.failovers.fetch_add(delta.failovers, relaxed);
     t.autoscaleUps.fetch_add(delta.autoscaleUps, relaxed);
     t.checkpointsSaved.fetch_add(delta.checkpointsSaved, relaxed);
+    t.reoffered.fetch_add(delta.reoffered, relaxed);
+    t.breakerTrips.fetch_add(delta.breakerTrips, relaxed);
+    t.brownoutEntries.fetch_add(delta.brownoutEntries, relaxed);
 }
 
 ServingCounters
@@ -308,6 +314,9 @@ servingTotals()
     out.failovers = t.failovers.load(relaxed);
     out.autoscaleUps = t.autoscaleUps.load(relaxed);
     out.checkpointsSaved = t.checkpointsSaved.load(relaxed);
+    out.reoffered = t.reoffered.load(relaxed);
+    out.breakerTrips = t.breakerTrips.load(relaxed);
+    out.brownoutEntries = t.brownoutEntries.load(relaxed);
     return out;
 }
 
@@ -327,6 +336,9 @@ resetServingTotals()
     t.failovers = 0;
     t.autoscaleUps = 0;
     t.checkpointsSaved = 0;
+    t.reoffered = 0;
+    t.breakerTrips = 0;
+    t.brownoutEntries = 0;
 }
 
 void
@@ -593,6 +605,14 @@ simStatsReport(const SimCache::Stats &stats, unsigned threads)
                         std::to_string(srv.autoscaleUps),
                         std::to_string(srv.checkpointsSaved) +
                             " checkpoints"});
+        if (srv.reoffered || srv.breakerTrips || srv.brownoutEntries)
+            rows.push_back({"serving defenses",
+                            std::to_string(srv.reoffered) +
+                                " reoffers",
+                            std::to_string(srv.breakerTrips) +
+                                " breaker trips, " +
+                                std::to_string(srv.brownoutEntries) +
+                                " brownouts"});
     }
     const GraphCounters grf = graphTotals();
     if (grf.graphsLowered || grf.graphCacheHits || grf.agrParses ||

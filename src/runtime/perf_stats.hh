@@ -208,6 +208,9 @@ struct ServingCounters
     std::uint64_t failovers = 0;   ///< warm spares activated
     std::uint64_t autoscaleUps = 0;
     std::uint64_t checkpointsSaved = 0;
+    std::uint64_t reoffered = 0;    ///< closed-loop client re-offers
+    std::uint64_t breakerTrips = 0; ///< circuit-breaker opens
+    std::uint64_t brownoutEntries = 0; ///< quality-ladder descents
 };
 
 /** Accumulate @p delta into the process-wide serving totals. */

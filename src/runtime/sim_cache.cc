@@ -5,6 +5,7 @@
 
 #include "runtime/sim_cache.hh"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -496,6 +497,24 @@ SimCache::saveFile(const std::string &path, const std::string &version)
         out.write(buf.data(), std::streamsize(buf.size()));
         if (!out) {
             out.close();
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    // fsync the temp file before the rename: the rename orders the
+    // *name* but not the *bytes*, so a power loss right after it could
+    // otherwise publish a complete-looking file with a zeroed tail.
+    // (loadFile tolerates such a tail — entries are length-prefixed
+    // and validated — but the sync keeps the common case whole.)
+    {
+        const int fd = ::open(tmp.c_str(), O_WRONLY);
+        if (fd < 0) {
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+        const int rc = ::fsync(fd);
+        ::close(fd);
+        if (rc != 0) {
             std::filesystem::remove(tmp, ec);
             return false;
         }

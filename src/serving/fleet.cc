@@ -90,6 +90,7 @@ struct PendingRequest
     double eligibleSec = 0; ///< earliest dispatch (retry backoff)
     std::uint8_t hedged = 0; ///< participates in first-wins dedup
     std::uint8_t copy = 0;   ///< 1 = hedge duplicate, not the original
+    std::uint8_t reoffers = 0; ///< closed-loop re-offers so far
 };
 
 enum ReplicaStatus : std::uint32_t {
@@ -109,6 +110,9 @@ struct ReplicaState
     double stragglerFactor = 1.0;
     double stragglerUntilSec = 0; ///< kInf = for the whole run
     std::uint8_t hedgeIssued = 0; ///< for the current dispatch
+    std::uint8_t degraded = 0; ///< current dispatch rides the ladder
+    double healthScore = 0;    ///< HealthPolicy fault accumulator
+    double breakerUntilSec = 0; ///< breaker open until this instant
     std::vector<PendingRequest> batch; ///< in-flight requests
 };
 
@@ -135,12 +139,24 @@ struct ServingState
     std::uint64_t failovers = 0;
     std::uint64_t autoscaleUps = 0;
     std::uint64_t checkpointsSaved = 0;
+    std::uint64_t reoffered = 0;
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t brownoutEntries = 0;
+    std::uint64_t brownoutCompleted = 0;
+    std::uint64_t brownoutGoodput = 0;
+    std::uint64_t nextReofferId = 0; ///< fresh ids for re-offers
+    std::uint8_t brownoutActive = 0;
+    double brownoutSinceSec = 0; ///< entry instant while active
+    double brownoutSec = 0;      ///< accumulated over closed windows
 
     std::vector<PendingRequest> queue;
+    std::vector<PendingRequest> reoffers; ///< due at eligibleSec
     std::vector<ReplicaState> replicas;
     std::vector<std::uint64_t> hedgedIds;  ///< sorted: ids with copies
     std::vector<std::uint64_t> hedgedDone; ///< sorted: winner answered
     std::vector<double> latencies; ///< every completed request
+    std::vector<double> completionsSec;    ///< aligned with latencies
+    std::vector<std::uint8_t> completedOnTime; ///< aligned, 0/1
     std::string eventLog;
 };
 
@@ -202,7 +218,8 @@ writeRequest(std::string &buf, const PendingRequest &r)
     writeDouble(buf, r.deadlineSec);
     writeU64(buf, r.attempt);
     writeDouble(buf, r.eligibleSec);
-    writeU64(buf, (std::uint64_t(r.hedged) << 1) | r.copy);
+    writeU64(buf, (std::uint64_t(r.reoffers) << 2) |
+                      (std::uint64_t(r.hedged) << 1) | r.copy);
 }
 
 bool
@@ -218,6 +235,7 @@ readRequest(Reader &rd, PendingRequest &r)
     r.attempt = std::uint32_t(attempt);
     r.hedged = std::uint8_t((flags >> 1) & 1);
     r.copy = std::uint8_t(flags & 1);
+    r.reoffers = std::uint8_t((flags >> 2) & 0xff);
     return true;
 }
 
@@ -247,8 +265,20 @@ serializeState(const ServingState &s)
     writeU64(buf, s.failovers);
     writeU64(buf, s.autoscaleUps);
     writeU64(buf, s.checkpointsSaved);
+    writeU64(buf, s.reoffered);
+    writeU64(buf, s.breakerTrips);
+    writeU64(buf, s.brownoutEntries);
+    writeU64(buf, s.brownoutCompleted);
+    writeU64(buf, s.brownoutGoodput);
+    writeU64(buf, s.nextReofferId);
+    writeU64(buf, s.brownoutActive);
+    writeDouble(buf, s.brownoutSinceSec);
+    writeDouble(buf, s.brownoutSec);
     writeU64(buf, s.queue.size());
     for (const PendingRequest &r : s.queue)
+        writeRequest(buf, r);
+    writeU64(buf, s.reoffers.size());
+    for (const PendingRequest &r : s.reoffers)
         writeRequest(buf, r);
     writeU64(buf, s.replicas.size());
     for (const ReplicaState &r : s.replicas) {
@@ -258,7 +288,10 @@ serializeState(const ServingState &s)
         writeDouble(buf, r.dispatchedSec);
         writeDouble(buf, r.stragglerFactor);
         writeDouble(buf, r.stragglerUntilSec);
-        writeU64(buf, r.hedgeIssued);
+        writeU64(buf, (std::uint64_t(r.degraded) << 1) |
+                          r.hedgeIssued);
+        writeDouble(buf, r.healthScore);
+        writeDouble(buf, r.breakerUntilSec);
         writeU64(buf, r.batch.size());
         for (const PendingRequest &b : r.batch)
             writeRequest(buf, b);
@@ -272,6 +305,12 @@ serializeState(const ServingState &s)
     writeU64(buf, s.latencies.size());
     for (double v : s.latencies)
         writeDouble(buf, v);
+    writeU64(buf, s.completionsSec.size());
+    for (double v : s.completionsSec)
+        writeDouble(buf, v);
+    writeU64(buf, s.completedOnTime.size());
+    for (std::uint8_t v : s.completedOnTime)
+        buf += char(v);
     writeU64(buf, s.eventLog.size());
     buf += s.eventLog;
     return buf;
@@ -294,6 +333,16 @@ deserializeState(const std::string &payload, ServingState &out)
         !rd.readU64(s.replicaFailures) || !rd.readU64(s.failovers) ||
         !rd.readU64(s.autoscaleUps) || !rd.readU64(s.checkpointsSaved))
         return false;
+    std::uint64_t brownout_active = 0;
+    if (!rd.readU64(s.reoffered) || !rd.readU64(s.breakerTrips) ||
+        !rd.readU64(s.brownoutEntries) ||
+        !rd.readU64(s.brownoutCompleted) ||
+        !rd.readU64(s.brownoutGoodput) ||
+        !rd.readU64(s.nextReofferId) || !rd.readU64(brownout_active) ||
+        !rd.readDouble(s.brownoutSinceSec) ||
+        !rd.readDouble(s.brownoutSec))
+        return false;
+    s.brownoutActive = std::uint8_t(brownout_active);
     if (!rd.readCount(n))
         return false;
     s.queue.resize(std::size_t(n));
@@ -302,18 +351,26 @@ deserializeState(const std::string &payload, ServingState &out)
             return false;
     if (!rd.readCount(n))
         return false;
+    s.reoffers.resize(std::size_t(n));
+    for (PendingRequest &r : s.reoffers)
+        if (!readRequest(rd, r))
+            return false;
+    if (!rd.readCount(n))
+        return false;
     s.replicas.resize(std::size_t(n));
     for (ReplicaState &r : s.replicas) {
-        std::uint64_t status = 0, hedged = 0, batch = 0;
+        std::uint64_t status = 0, flags = 0, batch = 0;
         if (!rd.readU64(status) || !rd.readDouble(r.readyAtSec) ||
             !rd.readDouble(r.busyUntilSec) ||
             !rd.readDouble(r.dispatchedSec) ||
             !rd.readDouble(r.stragglerFactor) ||
             !rd.readDouble(r.stragglerUntilSec) ||
-            !rd.readU64(hedged) || !rd.readCount(batch))
+            !rd.readU64(flags) || !rd.readDouble(r.healthScore) ||
+            !rd.readDouble(r.breakerUntilSec) || !rd.readCount(batch))
             return false;
         r.status = std::uint32_t(status);
-        r.hedgeIssued = std::uint8_t(hedged);
+        r.hedgeIssued = std::uint8_t(flags & 1);
+        r.degraded = std::uint8_t((flags >> 1) & 1);
         r.batch.resize(std::size_t(batch));
         for (PendingRequest &b : r.batch)
             if (!readRequest(rd, b))
@@ -337,6 +394,17 @@ deserializeState(const std::string &payload, ServingState &out)
     for (double &v : s.latencies)
         if (!rd.readDouble(v))
             return false;
+    if (!rd.readCount(n))
+        return false;
+    s.completionsSec.resize(std::size_t(n));
+    for (double &v : s.completionsSec)
+        if (!rd.readDouble(v))
+            return false;
+    if (!rd.readCount(n) || n > payload.size() - rd.pos)
+        return false;
+    s.completedOnTime.resize(std::size_t(n));
+    for (std::uint8_t &v : s.completedOnTime)
+        v = std::uint8_t(payload[rd.pos++]);
     if (!rd.readU64(n) || n > payload.size() - rd.pos)
         return false;
     s.eventLog.assign(payload.data() + rd.pos, std::size_t(n));
@@ -392,9 +460,12 @@ struct FleetEngine
                 const std::vector<QosTier> &tiers_,
                 const BatchLatencyModel &model_,
                 const FaultSchedule &faults_,
-                const FleetOptions &options_)
+                const FleetOptions &options_,
+                const BatchLatencyModel *brownout_model_)
         : arrivals(arrivals_), tiers(tiers_), model(model_),
-          faults(faults_), options(options_)
+          faults(faults_), options(options_),
+          brownoutModel(options_.brownout.enabled ? brownout_model_
+                                                  : nullptr)
     {
     }
 
@@ -403,11 +474,14 @@ struct FleetEngine
     const BatchLatencyModel &model;
     const FaultSchedule &faults;
     const FleetOptions &options;
+    const BatchLatencyModel *brownoutModel; ///< null = no ladder
 
     std::vector<FaultEvent> faultEvents; ///< core-kind, time-sorted
     std::string runId;
     double serviceLatencySec = 0;
     unsigned maxBatch = 1;
+    double brownoutServiceLatencySec = 0;
+    unsigned brownoutMaxBatch = 1;
 
     std::unique_ptr<CheckpointStore> store;
     ServingState s;
@@ -437,9 +511,14 @@ struct FleetEngine
         // estimate (the single-request latency undercounts and lets
         // through requests that then complete past their deadline).
         serviceLatencySec = model.latencySeconds(maxBatch);
+        if (brownoutModel) {
+            brownoutMaxBatch = brownoutModel->maxBatch();
+            brownoutServiceLatencySec =
+                brownoutModel->latencySeconds(brownoutMaxBatch);
+        }
 
         runId = runFingerprint(arrivals, tiers, model, faults,
-                               options);
+                               options, brownoutModel);
         s.replicas.resize(options.replicas);
         s.sparesLeft = options.warmSpares;
         s.scaleUpsLeft =
@@ -495,6 +574,94 @@ struct FleetEngine
         return n;
     }
 
+    /// @{ Brownout-aware curve: the ladder switches every *new*
+    /// dispatch (and the admission estimate) to the cheaper model.
+    const BatchLatencyModel &
+    activeModel() const
+    {
+        return (brownoutModel && s.brownoutActive) ? *brownoutModel
+                                                   : model;
+    }
+
+    unsigned
+    activeMaxBatch() const
+    {
+        return (brownoutModel && s.brownoutActive) ? brownoutMaxBatch
+                                                   : maxBatch;
+    }
+
+    double
+    activeServiceLatencySec() const
+    {
+        return (brownoutModel && s.brownoutActive)
+                   ? brownoutServiceLatencySec
+                   : serviceLatencySec;
+    }
+    /// @}
+
+    /**
+     * HealthPolicy accounting: a core fault raises the replica's
+     * score; crossing the threshold opens its breaker for cooloffSec
+     * (score halved, so the first post-cooloff dispatch is the
+     * half-open probe).
+     */
+    void
+    bumpHealth(unsigned idx, double t)
+    {
+        if (!options.health.enabled)
+            return;
+        ReplicaState &r = s.replicas[idx];
+        r.healthScore += options.health.faultScore;
+        if (r.healthScore >= options.health.breakerThreshold) {
+            r.breakerUntilSec = t + options.health.cooloffSec;
+            r.healthScore = 0.5 * options.health.breakerThreshold;
+            ++s.breakerTrips;
+            appendEvent(eventPrefix() + "breaker open replica " +
+                        std::to_string(idx) + " until " +
+                        formatSeconds(r.breakerUntilSec));
+        }
+    }
+
+    /**
+     * Closed-loop client model: a shed request is re-offered after a
+     * think delay (jittered when the retry policy says so), up to
+     * maxReoffers times. The re-offer is a brand-new request — fresh
+     * id, fresh offered count, fresh deadline from its re-offer
+     * instant — so the conservation law stays exact.
+     */
+    void
+    maybeReoffer(const PendingRequest &req, double t)
+    {
+        if (!options.reoffer.enabled ||
+            req.reoffers >= options.reoffer.maxReoffers)
+            return;
+        double delay = options.reoffer.delaySec;
+        if (options.retry.jitterFraction > 0) {
+            const double f =
+                std::min(options.retry.jitterFraction, 1.0);
+            delay *= 1.0 - f * resilience::retryJitterUnit(
+                                   options.retry, req.id,
+                                   0x8000u + req.reoffers);
+        }
+        PendingRequest r;
+        r.id = (std::uint64_t(1) << 48) + s.nextReofferId++;
+        r.tier = req.tier;
+        r.eligibleSec = t + delay;
+        r.reoffers = std::uint8_t(req.reoffers + 1);
+        ++s.reoffered;
+        s.reoffers.push_back(r);
+    }
+
+    /** Shed accounting for one queue instance (+ the re-offer hook). */
+    void
+    shedInstance(const PendingRequest &req, double t)
+    {
+        if (req.copy)
+            return; // the original carries the book-keeping
+        ++s.shed;
+        maybeReoffer(req, t);
+    }
+
     /** Take the cadenced on-disk checkpoint (quiescent hook body). */
     void
     maybeCheckpoint()
@@ -529,14 +696,17 @@ struct FleetEngine
         resilience::RetryPolicy policy = options.retry;
         policy.giveUpAfterSeconds = tiers[req.tier].deadlineSec;
         if (!resilience::retryPermitted(policy, req.attempt)) {
-            if (!req.copy)
-                ++s.shed;
+            shedInstance(req, t);
             return;
         }
         PendingRequest r = req;
+        // Jitter keys on the request id: a correlated fault drops a
+        // whole rack's worth of in-flight work at one instant, and
+        // identical backoff would re-dispatch it as one synchronized
+        // wave. Bit-identical to the unjittered delay at fraction 0.
         r.eligibleSec = t + policy.timeoutSec +
-                        resilience::retryDelaySeconds(policy,
-                                                      req.attempt);
+                        resilience::retryDelaySecondsJittered(
+                            policy, req.attempt, req.id);
         ++r.attempt;
         ++s.retries;
         s.queue.push_back(r);
@@ -566,6 +736,8 @@ struct FleetEngine
                 r.readyAtSec = t + options.failoverSec;
                 r.stragglerFactor = 1.0;
                 r.stragglerUntilSec = 0;
+                r.healthScore = 0; // the spare is a fresh machine
+                r.breakerUntilSec = 0;
                 appendEvent(eventPrefix() + "failover replica " +
                             std::to_string(e.target) + " ready " +
                             formatSeconds(r.readyAtSec));
@@ -587,6 +759,7 @@ struct FleetEngine
             appendEvent(eventPrefix() + "replica " +
                         std::to_string(e.target) + " outage until " +
                         formatSeconds(r.readyAtSec));
+            bumpHealth(e.target, t);
             break;
           }
           case FaultKind::CoreStraggler: {
@@ -596,6 +769,7 @@ struct FleetEngine
             appendEvent(eventPrefix() + "replica " +
                         std::to_string(e.target) + " straggles x" +
                         formatSeconds(e.severity));
+            bumpHealth(e.target, t);
             break;
           }
           default:
@@ -605,7 +779,7 @@ struct FleetEngine
 
     /** Record one answered request (hedged copies dedup first-wins). */
     void
-    complete(const PendingRequest &req, double t)
+    complete(const PendingRequest &req, double t, bool degraded)
     {
         if (req.hedged) {
             if (sortedContains(s.hedgedDone, req.id))
@@ -614,9 +788,17 @@ struct FleetEngine
         }
         ++s.completed;
         const double latency = t - req.arrivalSec;
+        const bool on_time = t <= req.deadlineSec;
         s.latencies.push_back(latency);
-        if (t <= req.deadlineSec)
+        s.completionsSec.push_back(t);
+        s.completedOnTime.push_back(on_time ? 1 : 0);
+        if (on_time)
             ++s.goodput;
+        if (degraded) {
+            ++s.brownoutCompleted;
+            if (on_time)
+                ++s.brownoutGoodput;
+        }
     }
 
     /**
@@ -628,36 +810,50 @@ struct FleetEngine
     void
     admit(const Request &arrival)
     {
+        PendingRequest r;
+        r.id = arrival.id;
+        r.tier = arrival.tier;
+        r.arrivalSec = arrival.arrivalSec;
+        offerPending(r, arrival.arrivalSec);
+    }
+
+    /**
+     * One offer at the front door — a fresh arrival or a closed-loop
+     * re-offer. Each call counts offered exactly once and ends
+     * admitted or shed, so conservation holds per instance.
+     */
+    void
+    offerPending(PendingRequest r, double t)
+    {
         ++s.offered;
-        const QosTier &tier = tiers[arrival.tier];
+        const QosTier &tier = tiers[r.tier];
+        r.deadlineSec = r.arrivalSec + tier.deadlineSec;
+        r.eligibleSec = r.arrivalSec;
         if (options.admission.enabled) {
             if (options.admission.queueCapacity &&
                 s.queue.size() >= options.admission.queueCapacity) {
-                ++s.shed;
+                shedInstance(r, t);
                 return;
             }
             if (tier.sheddable) {
                 const unsigned alive = aliveReplicas();
+                // The estimate rides the *active* curve: on the
+                // brownout ladder the cheaper model's higher service
+                // rate is precisely why the fleet can stop shedding.
                 const double rate =
-                    alive ? double(alive) * double(maxBatch) /
-                                model.latencySeconds(maxBatch)
+                    alive ? double(alive) * double(activeMaxBatch()) /
+                                activeServiceLatencySec()
                           : 0;
                 const double wait =
                     rate > 0 ? double(s.queue.size()) / rate : kInf;
-                if (wait + serviceLatencySec >
+                if (wait + activeServiceLatencySec() >
                     tier.deadlineSec * options.admission.slackFactor) {
-                    ++s.shed;
+                    shedInstance(r, t);
                     return;
                 }
             }
         }
         ++s.admitted;
-        PendingRequest r;
-        r.id = arrival.id;
-        r.tier = arrival.tier;
-        r.arrivalSec = arrival.arrivalSec;
-        r.deadlineSec = arrival.arrivalSec + tier.deadlineSec;
-        r.eligibleSec = arrival.arrivalSec;
         s.queue.push_back(r);
     }
 
@@ -703,8 +899,7 @@ struct FleetEngine
             if (req.hedged && sortedContains(s.hedgedDone, req.id))
                 continue;
             if (options.admission.enabled && t > req.deadlineSec) {
-                if (!req.copy)
-                    ++s.shed;
+                shedInstance(req, t);
                 continue;
             }
             kept.push_back(req);
@@ -732,16 +927,16 @@ struct FleetEngine
         std::stable_sort(eligible.begin(), eligible.end(),
                          requestBefore);
 
+        const std::size_t cap = activeMaxBatch();
         std::vector<char> taken(eligible.size(), 0);
         std::vector<PendingRequest> batch;
         for (std::uint32_t ti = 0;
-             ti < std::uint32_t(tiers.size()) &&
-             batch.size() < maxBatch;
+             ti < std::uint32_t(tiers.size()) && batch.size() < cap;
              ++ti) {
             unsigned got = 0;
             for (std::size_t i = 0; i < eligible.size() &&
                                     got < tiers[ti].reservedSlots &&
-                                    batch.size() < maxBatch;
+                                    batch.size() < cap;
                  ++i) {
                 if (taken[i] || eligible[i].tier != ti)
                     continue;
@@ -751,7 +946,7 @@ struct FleetEngine
             }
         }
         for (std::size_t i = 0;
-             i < eligible.size() && batch.size() < maxBatch; ++i) {
+             i < eligible.size() && batch.size() < cap; ++i) {
             if (taken[i])
                 continue;
             taken[i] = 1;
@@ -768,8 +963,10 @@ struct FleetEngine
         r.status = kBusy;
         r.dispatchedSec = t;
         r.busyUntilSec =
-            t + model.latencySeconds(unsigned(batch.size())) * factor;
+            t + activeModel().latencySeconds(unsigned(batch.size())) *
+                    factor;
         r.hedgeIssued = 0;
+        r.degraded = (brownoutModel && s.brownoutActive) ? 1 : 0;
         r.batch = std::move(batch);
         if (obs::Tracer *tracer = obs::Tracer::current()) {
             const auto ns = [](double sec) {
@@ -809,6 +1006,24 @@ struct FleetEngine
         for (const PendingRequest &req : s.queue)
             if (req.eligibleSec > t)
                 next = std::min(next, req.eligibleSec);
+        for (const PendingRequest &req : s.reoffers)
+            if (req.eligibleSec > t)
+                next = std::min(next, req.eligibleSec);
+        if (options.health.enabled && !s.queue.empty()) {
+            // An open breaker is a decision instant: the replica is
+            // idle but skipped, and nothing else may wake the step
+            // before the half-open probe becomes legal.
+            for (const ReplicaState &r : s.replicas)
+                if (r.status == kIdle && r.breakerUntilSec > t)
+                    next = std::min(next, r.breakerUntilSec);
+        }
+        if (brownoutModel && s.brownoutActive &&
+            options.brownout.minResidencySec > 0) {
+            const double residency =
+                s.brownoutSinceSec + options.brownout.minResidencySec;
+            if (residency > t)
+                next = std::min(next, residency);
+        }
         if (options.autoscale.enabled && !s.queue.empty() &&
             s.scaleUpsLeft > 0)
             next = std::min(next, std::max(s.nextAutoscaleSec, t));
@@ -869,10 +1084,13 @@ struct FleetEngine
             if (r.status != kBusy || r.busyUntilSec > t)
                 continue;
             for (const PendingRequest &req : r.batch)
-                complete(req, t);
+                complete(req, t, r.degraded != 0);
             r.batch.clear();
             r.status = kIdle;
             r.hedgeIssued = 0;
+            r.degraded = 0;
+            if (options.health.enabled)
+                r.healthScore *= options.health.successDecay;
         }
         for (ReplicaState &r : s.replicas)
             if (r.status == kSpinningUp && r.readyAtSec <= t)
@@ -880,6 +1098,19 @@ struct FleetEngine
         while (s.arrivalCursor < arrivals.size() &&
                arrivals[s.arrivalCursor].arrivalSec <= t)
             admit(arrivals[s.arrivalCursor++]);
+        if (!s.reoffers.empty()) {
+            // Closed-loop clients whose think time has elapsed
+            // re-offer their shed request as a brand-new arrival.
+            std::vector<PendingRequest> later;
+            std::vector<PendingRequest> due;
+            for (const PendingRequest &req : s.reoffers)
+                (req.eligibleSec <= t ? due : later).push_back(req);
+            s.reoffers.swap(later);
+            for (PendingRequest &req : due) {
+                req.arrivalSec = t;
+                offerPending(req, t);
+            }
+        }
         if (options.hedge.enabled) {
             for (unsigned i = 0; i < unsigned(s.replicas.size());
                  ++i) {
@@ -918,6 +1149,9 @@ struct FleetEngine
                     ++lost;
             s.shed += lost;
             s.queue.clear();
+            // Pending re-offers were never offered; dropping them
+            // keeps completed + shed == offered intact.
+            s.reoffers.clear();
             const std::uint64_t remaining =
                 arrivals.size() - s.arrivalCursor;
             s.offered += remaining;
@@ -936,9 +1170,36 @@ struct FleetEngine
         }
 
         purgeQueue(t);
+        if (brownoutModel) {
+            const std::size_t alive =
+                std::max<std::size_t>(aliveReplicas(), 1);
+            if (!s.brownoutActive &&
+                s.queue.size() >
+                    options.brownout.enterQueueDepthPerReplica *
+                        alive) {
+                s.brownoutActive = 1;
+                s.brownoutSinceSec = t;
+                ++s.brownoutEntries;
+                appendEvent(eventPrefix() + "brownout enter depth " +
+                            std::to_string(s.queue.size()));
+            } else if (s.brownoutActive &&
+                       s.queue.size() <=
+                           options.brownout.exitQueueDepthPerReplica *
+                               alive &&
+                       t - s.brownoutSinceSec >=
+                           options.brownout.minResidencySec) {
+                s.brownoutActive = 0;
+                s.brownoutSec += t - s.brownoutSinceSec;
+                appendEvent(eventPrefix() + "brownout exit depth " +
+                            std::to_string(s.queue.size()));
+            }
+        }
         for (unsigned i = 0; i < unsigned(s.replicas.size()); ++i) {
             if (s.replicas[i].status != kIdle || s.queue.empty())
                 continue;
+            if (options.health.enabled &&
+                t < s.replicas[i].breakerUntilSec)
+                continue; // breaker open: skip until half-open probe
             dispatchReplica(i, t);
         }
         if (obs::Tracer *tracer = obs::Tracer::current())
@@ -978,9 +1239,19 @@ struct FleetEngine
         r.failovers = s.failovers;
         r.autoscaleUps = s.autoscaleUps;
         r.checkpointsSaved = s.checkpointsSaved;
+        r.reoffered = s.reoffered;
+        r.breakerTrips = s.breakerTrips;
+        r.brownoutEntries = s.brownoutEntries;
+        r.brownoutCompleted = s.brownoutCompleted;
+        r.brownoutGoodput = s.brownoutGoodput;
+        r.brownoutSec = s.brownoutSec;
+        if (s.brownoutActive)
+            r.brownoutSec += s.simTimeSec - s.brownoutSinceSec;
         r.halted = haltRequested;
         r.makespanSec = s.simTimeSec;
         r.latencies = s.latencies;
+        r.completionsSec = s.completionsSec;
+        r.completedOnTime = s.completedOnTime;
         r.eventLog = s.eventLog;
         std::vector<double> sorted = s.latencies;
         std::sort(sorted.begin(), sorted.end());
@@ -1010,6 +1281,9 @@ struct FleetEngine
         delta.failovers = r.failovers;
         delta.autoscaleUps = r.autoscaleUps;
         delta.checkpointsSaved = r.checkpointsSaved;
+        delta.reoffered = r.reoffered;
+        delta.breakerTrips = r.breakerTrips;
+        delta.brownoutEntries = r.brownoutEntries;
         runtime::chargeServing(delta);
         if (obs::Tracer *tracer = obs::Tracer::current())
             tracer->span(obs::Domain::Serving, 1, "serving.run", 0,
@@ -1058,6 +1332,11 @@ FleetResult::report() const
     os << "  failovers      " << failovers << "\n";
     os << "  autoscale ups  " << autoscaleUps << "\n";
     os << "  checkpoints    " << checkpointsSaved << "\n";
+    os << "  reoffered      " << reoffered << "\n";
+    os << "  breaker trips  " << breakerTrips << "\n";
+    os << "  brownouts      " << brownoutEntries << "\n";
+    os << "  brownout done  " << brownoutCompleted << "\n";
+    os << "  brownout sec   " << formatSeconds(brownoutSec) << "\n";
     os << "  p50            " << formatSeconds(p50) << "\n";
     os << "  p99            " << formatSeconds(p99) << "\n";
     os << "  p999           " << formatSeconds(p999) << "\n";
@@ -1070,7 +1349,8 @@ runFingerprint(const std::vector<Request> &arrivals,
                const std::vector<QosTier> &tiers,
                const BatchLatencyModel &model,
                const resilience::FaultSchedule &faults,
-               const FleetOptions &options)
+               const FleetOptions &options,
+               const BatchLatencyModel *brownout_model)
 {
     std::string s;
     s.reserve(512);
@@ -1095,7 +1375,7 @@ runFingerprint(const std::vector<Request> &arrivals,
     putU64(s, h);
     s += fingerprint(tiers);
     s += model.fingerprint();
-    s += resilience::fingerprint(faults.spec());
+    s += faults.fingerprint();
     s += "fleet:";
     putU64(s, options.replicas);
     putU64(s, options.warmSpares);
@@ -1116,6 +1396,24 @@ runFingerprint(const std::vector<Request> &arrivals,
     putBits(s, options.retry.backoffMultiplier);
     putBits(s, options.retry.backoffCapSec);
     putBits(s, options.retry.giveUpAfterSeconds);
+    putBits(s, options.retry.jitterFraction);
+    putU64(s, options.retry.jitterSeed);
+    putU64(s, options.health.enabled ? 1 : 0);
+    putBits(s, options.health.faultScore);
+    putBits(s, options.health.successDecay);
+    putBits(s, options.health.breakerThreshold);
+    putBits(s, options.health.cooloffSec);
+    putU64(s, options.brownout.enabled ? 1 : 0);
+    putU64(s, options.brownout.enterQueueDepthPerReplica);
+    putU64(s, options.brownout.exitQueueDepthPerReplica);
+    putBits(s, options.brownout.minResidencySec);
+    putU64(s, options.reoffer.enabled ? 1 : 0);
+    putBits(s, options.reoffer.delaySec);
+    putU64(s, options.reoffer.maxReoffers);
+    if (options.brownout.enabled && brownout_model) {
+        s += "brownout:";
+        s += brownout_model->fingerprint();
+    }
     putBits(s, options.checkpointIntervalSec);
     return s;
 }
@@ -1124,9 +1422,11 @@ FleetResult
 runFleet(const std::vector<Request> &arrivals,
          const std::vector<QosTier> &tiers,
          const BatchLatencyModel &model, const FaultSchedule &faults,
-         const FleetOptions &options)
+         const FleetOptions &options,
+         const BatchLatencyModel *brownout_model)
 {
-    FleetEngine engine{arrivals, tiers, model, faults, options};
+    FleetEngine engine{arrivals, tiers,   model,
+                       faults,   options, brownout_model};
     return engine.run();
 }
 

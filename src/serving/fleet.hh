@@ -101,6 +101,62 @@ struct AutoscalePolicy
     unsigned maxExtraReplicas = 0; ///< scale-out budget
 };
 
+/**
+ * Per-replica health scoring with a circuit breaker. Every core
+ * fault that hits a replica adds faultScore to its health score; a
+ * completed batch multiplies the score by successDecay. When the
+ * score crosses breakerThreshold the breaker opens: the dispatcher
+ * skips the replica until cooloffSec has passed (the score is halved
+ * at the trip, so the first post-cooloff dispatch is the half-open
+ * probe — one more fault re-opens the breaker immediately). This
+ * keeps a flapping or straggling replica from eating dispatches that
+ * healthy peers would answer in time.
+ */
+struct HealthPolicy
+{
+    bool enabled = false;
+    double faultScore = 1.0;      ///< score added per core fault
+    double successDecay = 0.5;    ///< score multiplier per completion
+    double breakerThreshold = 2.0;
+    double cooloffSec = 0.05;     ///< open -> half-open window
+};
+
+/**
+ * Brownout ladder: degrade quality instead of availability. Under
+ * sustained overload (queue depth above enterQueueDepthPerReplica per
+ * alive replica) the fleet switches every new dispatch to a cheaper
+ * model variant (the brownout_model argument of runFleet) and rides
+ * its higher capacity to drain the backlog; it exits once the depth
+ * falls to exitQueueDepthPerReplica per replica and the ladder has
+ * been held at least minResidencySec (hysteresis against flapping).
+ * No-op unless both enabled and a brownout model are provided.
+ */
+struct BrownoutPolicy
+{
+    bool enabled = false;
+    std::size_t enterQueueDepthPerReplica = 16;
+    std::size_t exitQueueDepthPerReplica = 2;
+    double minResidencySec = 0;
+};
+
+/**
+ * Closed-loop clients: a shed request is not gone — its client
+ * re-offers it after delaySec think time, up to maxReoffers times per
+ * original request. Every re-offer counts as a fresh offered request
+ * (conservation stays completed + shed == offered), carries a fresh
+ * deadline from its re-offer instant, and — with
+ * RetryPolicy::jitterFraction set — a de-synchronized delay. This is
+ * the ingredient of metastable failure: after a mass-shedding fault
+ * clears, the synchronized re-offer wave can keep the fleet saturated
+ * indefinitely unless jitter/breakers/brownout break the loop.
+ */
+struct ReofferPolicy
+{
+    bool enabled = false;
+    double delaySec = 0.01;   ///< client think time before re-offer
+    unsigned maxReoffers = 2; ///< per original request
+};
+
 /** Knobs of one fleet run. */
 struct FleetOptions
 {
@@ -111,6 +167,9 @@ struct FleetOptions
     AdmissionPolicy admission;
     HedgePolicy hedge;
     AutoscalePolicy autoscale;
+    HealthPolicy health;
+    BrownoutPolicy brownout;
+    ReofferPolicy reoffer;
 
     /**
      * Retry discipline for requests lost to replica failure.
@@ -159,12 +218,26 @@ struct FleetResult
     std::uint64_t failovers = 0; ///< warm spares activated
     std::uint64_t autoscaleUps = 0;
     std::uint64_t checkpointsSaved = 0;
+    std::uint64_t reoffered = 0;    ///< closed-loop re-offers queued
+    std::uint64_t breakerTrips = 0; ///< circuit-breaker opens
+    std::uint64_t brownoutEntries = 0;
+    std::uint64_t brownoutCompleted = 0; ///< answered on the ladder
+    std::uint64_t brownoutGoodput = 0;   ///< ...within their deadline
+    double brownoutSec = 0; ///< sim time spent degraded
 
     bool halted = false;    ///< true only via haltAfterEvents
     double makespanSec = 0; ///< sim time when the fleet drained
 
     /** Arrival-to-answer latency of every completed request. */
     std::vector<double> latencies;
+
+    /**
+     * Absolute completion instant of every completed request, aligned
+     * with latencies, plus its deadline-met flag — the raw material of
+     * windowed recovery metrics (bench_serving's correlated sweep).
+     */
+    std::vector<double> completionsSec;
+    std::vector<std::uint8_t> completedOnTime;
 
     /// @{ Percentiles over latencies (0 when nothing completed).
     double p50 = 0;
@@ -191,7 +264,9 @@ std::string runFingerprint(const std::vector<Request> &arrivals,
                            const std::vector<QosTier> &tiers,
                            const BatchLatencyModel &model,
                            const resilience::FaultSchedule &faults,
-                           const FleetOptions &options);
+                           const FleetOptions &options,
+                           const BatchLatencyModel *brownout_model =
+                               nullptr);
 
 /**
  * Serve @p arrivals on a fleet of options.replicas replicas with
@@ -199,12 +274,17 @@ std::string runFingerprint(const std::vector<Request> &arrivals,
  * replica death, CoreTransient = repairable outage, CoreStraggler =
  * slowdown window; link/ECC kinds are ignored — replicas are
  * stateless). Tier indices in @p arrivals must address @p tiers.
+ * Correlated schedules (resilience::generateCorrelated) work
+ * unchanged: a rack event is just several core faults at one instant.
+ * @p brownout_model is the cheaper curve the brownout ladder switches
+ * to; ignored unless options.brownout.enabled.
  */
 FleetResult runFleet(const std::vector<Request> &arrivals,
                      const std::vector<QosTier> &tiers,
                      const BatchLatencyModel &model,
                      const resilience::FaultSchedule &faults,
-                     const FleetOptions &options = {});
+                     const FleetOptions &options = {},
+                     const BatchLatencyModel *brownout_model = nullptr);
 
 } // namespace serving
 } // namespace ascend

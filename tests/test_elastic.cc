@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -18,6 +19,7 @@
 #include "cluster/collective.hh"
 #include "cluster/elastic_run.hh"
 #include "obs/tracer.hh"
+#include "resilience/fault_domain.hh"
 #include "runtime/perf_stats.hh"
 #include "runtime/thread_pool.hh"
 
@@ -261,6 +263,58 @@ TEST(ElasticRun, SpeculationBoundsStragglerCost)
     EXPECT_EQ(raced.counters.speculations, 20u);
     EXPECT_LT(raced.seconds, dragged.seconds);
     EXPECT_NE(raced.eventLog.find("speculate"), std::string::npos);
+}
+
+TEST(ElasticRun, RackCorrelatedStrikeKillsOneRackInOneStep)
+{
+    // A correlated schedule feeds the engine several node deaths at
+    // one instant: the whole rack must fail over (or shrink) in a
+    // single step, not be spread across the run like independent
+    // deaths would be.
+    resilience::CorrelatedFaultSpec cspec;
+    cspec.seed = 7;
+    cspec.horizonSec = 1.0;
+    cspec.topology.replicas = 8; // node scope
+    cspec.topology.replicasPerRack = 4;
+    cspec.rackStrikeAtSec = 0.5;
+    cspec.rackStrikeKind = resilience::FaultKind::CorePermanent;
+    const FaultSchedule faults = resilience::generateCorrelated(cspec);
+    ASSERT_EQ(faults.events().size(), 4u);
+    for (const resilience::FaultEvent &e : faults.events())
+        EXPECT_EQ(e.timeSec, 0.5);
+
+    ElasticOptions spares;
+    spares.spareNodes = 8;
+    const ElasticRunResult full = cluster::runElastic(
+        testJob(), testCluster(), 64, 20, faults, RetryPolicy{},
+        DegradedMode::ContinueDegraded, spares);
+    EXPECT_TRUE(full.completed);
+    EXPECT_EQ(full.counters.failovers, 4u);
+    EXPECT_EQ(full.counters.sparesUsed, 4u);
+    EXPECT_EQ(full.finalChips, 64u);
+
+    // All four failovers land at the same sim time.
+    std::set<std::string> stamps;
+    std::istringstream lines(full.eventLog);
+    std::string line;
+    while (std::getline(lines, line))
+        if (line.find("failover") != std::string::npos)
+            stamps.insert(line.substr(line.find("t="),
+                                      line.find(' ', line.find("t=")) -
+                                          line.find("t=")));
+    EXPECT_EQ(stamps.size(), 1u) << full.eventLog;
+
+    // With only two spares the same event exhausts the pool and
+    // shrinks the remainder of the rack out of the world.
+    ElasticOptions two;
+    two.spareNodes = 2;
+    const ElasticRunResult shrunk = cluster::runElastic(
+        testJob(), testCluster(), 64, 20, faults, RetryPolicy{},
+        DegradedMode::ContinueDegraded, two);
+    EXPECT_TRUE(shrunk.completed);
+    EXPECT_EQ(shrunk.counters.failovers, 2u);
+    EXPECT_EQ(shrunk.counters.shrinks, 2u);
+    EXPECT_EQ(shrunk.finalChips, 48u); // 6 nodes x 8 chips
 }
 
 TEST(ElasticRun, FingerprintSeparatesOptionsAndInputs)

@@ -264,6 +264,65 @@ TEST(Policy, DeadlineBudgetCapsRetriesAcrossTheKnobGrid)
     }
 }
 
+TEST(Policy, JitterOnlyShrinksAndPreservesClosedForms)
+{
+    RetryPolicy p;
+    p.timeoutSec = 1e-3;
+    p.backoffBaseSec = 1e-4;
+    p.backoffMultiplier = 2.0;
+    p.backoffCapSec = 5e-4;
+    p.jitterFraction = 0.5;
+    p.jitterSeed = 1234;
+
+    // Property grid over (key, attempt): jitter only ever shrinks a
+    // sleep, so retryCumulativeSeconds stays a valid upper bound on
+    // any jittered schedule and the budget closed forms still hold.
+    for (std::uint64_t key : {0ull, 7ull, 0xdeadbeefull,
+                              (1ull << 48) + 12ull}) {
+        double jittered_sum = 0;
+        double nominal_sum = 0;
+        for (unsigned a = 0; a < 12; ++a) {
+            const double nominal =
+                resilience::retryDelaySeconds(p, a);
+            const double jittered =
+                resilience::retryDelaySecondsJittered(p, a, key);
+            EXPECT_LE(jittered, nominal);
+            EXPECT_GE(jittered,
+                      nominal * (1.0 - p.jitterFraction));
+            jittered_sum += p.timeoutSec + jittered;
+            nominal_sum += p.timeoutSec + nominal;
+            // Deterministic: same (policy, key, attempt) -> same bits.
+            EXPECT_EQ(jittered, resilience::retryDelaySecondsJittered(
+                                    p, a, key));
+        }
+        EXPECT_LE(jittered_sum,
+                  resilience::retryCumulativeSeconds(p, 12));
+        EXPECT_GE(jittered_sum,
+                  nominal_sum - p.jitterFraction *
+                                    (nominal_sum -
+                                     12.0 * p.timeoutSec));
+    }
+
+    // Different keys de-synchronize: at least one attempt differs.
+    bool differs = false;
+    for (unsigned a = 0; a < 12 && !differs; ++a)
+        differs = resilience::retryDelaySecondsJittered(p, a, 1) !=
+                  resilience::retryDelaySecondsJittered(p, a, 2);
+    EXPECT_TRUE(differs);
+
+    // Fraction 0 (the default) is bit-identical to the nominal path.
+    p.jitterFraction = 0;
+    for (unsigned a = 0; a < 12; ++a)
+        EXPECT_EQ(resilience::retryDelaySecondsJittered(p, a, 99),
+                  resilience::retryDelaySeconds(p, a));
+
+    // Fractions above 1 clamp: never a negative sleep.
+    p.jitterFraction = 7.0;
+    for (unsigned a = 0; a < 12; ++a)
+        EXPECT_GE(resilience::retryDelaySecondsJittered(p, a, 3),
+                  0.0);
+}
+
 TEST(Policy, TightDeadlineForbidsEvenTheFirstRetry)
 {
     RetryPolicy p;

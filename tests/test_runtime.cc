@@ -367,6 +367,55 @@ TEST(SimCachePersist, TruncatedHeaderIsRejectedCleanly)
     }
 }
 
+TEST(SimCachePersist, ZeroedTailLoadsValidatedPrefixAndRebuilds)
+{
+    // The power-loss shape fsync-before-rename defends against: the
+    // rename was durable but the data blocks behind it were not, so
+    // the file has its full length with a zeroed tail. Every entry
+    // that validates before the zeros must survive, the rest must be
+    // dropped without error, and a fresh save over the damaged path
+    // must rebuild it completely.
+    const std::string path = cacheFileFor("zeroed_tail");
+    runtime::SimCache cache;
+    core::SimResult r;
+    for (int i = 0; i < 8; ++i) {
+        r.totalCycles = Cycles(i + 1);
+        cache.insert("key-" + std::to_string(i), r);
+    }
+    ASSERT_TRUE(cache.saveFile(path));
+
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        blob = os.str();
+    }
+
+    for (std::size_t cut = 16; cut < blob.size(); cut += 131) {
+        std::string damaged = blob;
+        std::fill(damaged.begin() + std::ptrdiff_t(cut),
+                  damaged.end(), '\0');
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(damaged.data(),
+                      std::streamsize(damaged.size()));
+        }
+        runtime::SimCache partial;
+        const std::size_t loaded = partial.loadFile(path);
+        EXPECT_LE(loaded, 8u) << "zeroed from " << cut;
+        EXPECT_EQ(partial.stats().entries, loaded);
+    }
+
+    ASSERT_TRUE(cache.saveFile(path));
+    runtime::SimCache rebuilt;
+    EXPECT_EQ(rebuilt.loadFile(path), 8u);
+    core::SimResult out;
+    EXPECT_TRUE(rebuilt.lookup("key-3", out));
+    EXPECT_EQ(out.totalCycles, Cycles(4));
+}
+
 TEST(SimCachePersist, SaveCreatesParentDirectories)
 {
     const std::string dir =

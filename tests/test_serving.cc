@@ -17,6 +17,7 @@
 
 #include "model/zoo.hh"
 #include "resilience/checkpoint.hh"
+#include "resilience/fault_domain.hh"
 #include "runtime/perf_stats.hh"
 #include "runtime/sim_session.hh"
 #include "runtime/thread_pool.hh"
@@ -24,6 +25,8 @@
 #include "soc/training_soc.hh"
 
 using namespace ascend;
+using resilience::CorrelatedFaultSpec;
+using resilience::FaultKind;
 using resilience::FaultSchedule;
 using resilience::FaultSpec;
 using serving::ArrivalSpec;
@@ -101,6 +104,36 @@ baseOptions()
     o.retry.timeoutSec = 1e-3;
     o.retry.backoffBaseSec = 1e-4;
     return o;
+}
+
+/** Like run(), but against an explicit (e.g. correlated) schedule. */
+FleetResult
+runSched(double load, const FleetOptions &options,
+         const FaultSchedule &faults, double horizon_sec = 0.5,
+         const BatchLatencyModel *brownout_model = nullptr)
+{
+    const std::vector<QosTier> tiers = testTiers();
+    return serving::runFleet(
+        serving::generateArrivals(testArrivals(load, horizon_sec),
+                                  tiers),
+        tiers, testModel(), faults, options, brownout_model);
+}
+
+/** One whole-rack CorePermanent strike at @p at_sec, plus optional
+ *  straggler background — all four replicas in a single rack. */
+FaultSchedule
+rackStrike(double at_sec, double straggler_fraction = 0)
+{
+    CorrelatedFaultSpec spec;
+    spec.seed = 11;
+    spec.horizonSec = 0.5;
+    spec.topology.replicas = 4;
+    spec.topology.replicasPerRack = 4;
+    spec.rackStrikeAtSec = at_sec;
+    spec.rackStrikeKind = FaultKind::CorePermanent;
+    spec.background.stragglerFraction = straggler_fraction;
+    spec.background.stragglerSlowdown = 4.0;
+    return resilience::generateCorrelated(spec);
 }
 
 std::string
@@ -441,6 +474,247 @@ TEST(ServingFleet, AutoscalerAddsReplicasUnderSustainedBacklog)
 
     const FleetResult fixed = run(2.0, baseOptions());
     EXPECT_GT(scaled.goodput, fixed.goodput);
+}
+
+// -------------------------------- correlated faults and defenses
+
+TEST(ServingDefenses, RackStrikeKillingPrimaryAndHedgeConserves)
+{
+    // The whole fleet shares one rack; the strike takes primary and
+    // hedge copies in the same correlated event. First-answer-wins
+    // dedup plus failure retries must still conserve every request,
+    // wherever the strike lands relative to in-flight dispatches.
+    FleetOptions o = baseOptions();
+    o.replicas = 4;
+    o.warmSpares = 2;
+    o.failoverSec = 5e-3;
+    o.hedge.enabled = true;
+    o.hedge.afterSec = 8e-3; // above healthy, below 4x straggled
+
+    std::uint64_t hedges = 0;
+    for (double at : {0.05, 0.1, 0.15, 0.2}) {
+        const FleetResult r =
+            runSched(1.2, o, rackStrike(at, 0.5));
+        EXPECT_EQ(r.completed + r.shed, r.offered)
+            << "strike at " << at;
+        EXPECT_EQ(r.replicaFailures, 4u) << "strike at " << at;
+        EXPECT_EQ(r.failovers, 2u) << "strike at " << at;
+        hedges += r.hedges;
+    }
+    // The straggler background forced hedges in at least one run, so
+    // the dedup path genuinely ran under the strikes.
+    EXPECT_GT(hedges, 0u);
+}
+
+TEST(ServingDefenses, BreakerIsolatesFlappingReplicas)
+{
+    FaultSpec flap;
+    flap.seed = 21;
+    flap.horizonSec = 0.5;
+    flap.cores = 2;
+    flap.coreTransientPerSec = 40.0;
+    flap.coreRepairSec = 1e-3;
+
+    FleetOptions o = baseOptions();
+    o.health.enabled = true;
+    o.health.cooloffSec = 0.02;
+    const FleetResult r = run(1.0, o, flap);
+    EXPECT_GT(r.breakerTrips, 0u);
+    EXPECT_NE(r.eventLog.find("breaker open replica"),
+              std::string::npos);
+    EXPECT_EQ(r.completed + r.shed, r.offered);
+
+    FleetOptions off = baseOptions();
+    const FleetResult base = run(1.0, off, flap);
+    EXPECT_EQ(base.breakerTrips, 0u);
+}
+
+TEST(ServingDefenses, ReoffersCountAsFreshOfferedRequests)
+{
+    FleetOptions o = baseOptions();
+    o.reoffer.enabled = true;
+    o.reoffer.delaySec = 2e-3;
+    o.reoffer.maxReoffers = 2;
+
+    const FleetResult loop = run(2.0, o);
+    const FleetResult open = run(2.0, baseOptions());
+
+    EXPECT_GT(loop.reoffered, 0u);
+    // Every re-offer is a fresh offered request; conservation holds
+    // over the inflated stream.
+    EXPECT_EQ(loop.completed + loop.shed, loop.offered);
+    EXPECT_EQ(loop.offered, open.offered + loop.reoffered);
+    EXPECT_EQ(open.reoffered, 0u);
+}
+
+TEST(ServingDefenses, BrownoutTradesQualityForGoodput)
+{
+    const BatchLatencyModel cheap =
+        BatchLatencyModel::linear(5e-4, 1e-4, 8);
+    FleetOptions o = baseOptions();
+    o.brownout.enabled = true;
+    o.brownout.enterQueueDepthPerReplica = 16;
+    o.brownout.exitQueueDepthPerReplica = 2;
+    o.brownout.minResidencySec = 5e-3;
+
+    const std::vector<QosTier> tiers = testTiers();
+    const std::vector<Request> arrivals = serving::generateArrivals(
+        testArrivals(2.0), tiers);
+    const FaultSchedule none = FaultSchedule::generate(FaultSpec{});
+    const FleetResult degraded = serving::runFleet(
+        arrivals, tiers, testModel(), none, o, &cheap);
+    const FleetResult crisp = serving::runFleet(
+        arrivals, tiers, testModel(), none, baseOptions());
+
+    EXPECT_GT(degraded.brownoutEntries, 0u);
+    EXPECT_GT(degraded.brownoutCompleted, 0u);
+    EXPECT_GE(degraded.brownoutCompleted, degraded.brownoutGoodput);
+    EXPECT_GT(degraded.brownoutSec, 0.0);
+    EXPECT_NE(degraded.eventLog.find("brownout enter"),
+              std::string::npos);
+    EXPECT_NE(degraded.eventLog.find("brownout exit"),
+              std::string::npos);
+    EXPECT_EQ(degraded.completed + degraded.shed, degraded.offered);
+    // The cheaper curve answers more requests in time.
+    EXPECT_GT(degraded.goodput, crisp.goodput);
+
+    // Without the enable bit the cheap model is inert: byte-identical
+    // to the plain run.
+    FleetOptions inert = baseOptions();
+    const FleetResult plain = serving::runFleet(
+        arrivals, tiers, testModel(), none, inert, &cheap);
+    EXPECT_EQ(plain.report(), crisp.report());
+}
+
+FleetOptions
+allDefenses()
+{
+    FleetOptions o = baseOptions();
+    o.replicas = 4;
+    o.warmSpares = 2;
+    o.failoverSec = 5e-3;
+    o.hedge.enabled = true;
+    o.hedge.afterSec = 8e-3;
+    o.retry.jitterFraction = 0.5;
+    o.retry.jitterSeed = 77;
+    o.health.enabled = true;
+    o.health.cooloffSec = 0.02;
+    o.brownout.enabled = true;
+    o.brownout.enterQueueDepthPerReplica = 8;
+    o.brownout.exitQueueDepthPerReplica = 2;
+    o.brownout.minResidencySec = 5e-3;
+    o.reoffer.enabled = true;
+    o.reoffer.delaySec = 2e-3;
+    return o;
+}
+
+TEST(ServingDefenses, DefendedRunIsThreadCountInvariant)
+{
+    const BatchLatencyModel cheap =
+        BatchLatencyModel::linear(5e-4, 1e-4, 8);
+    std::string reports[2];
+    const unsigned threads[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+        runtime::ScopedThreadPoolSize scope(threads[i]);
+        reports[i] = runSched(2.0, allDefenses(), rackStrike(0.1, 0.5),
+                              0.5, &cheap)
+                         .report();
+    }
+    EXPECT_FALSE(reports[0].empty());
+    EXPECT_EQ(reports[0], reports[1]);
+}
+
+TEST(ServingDefenses, DefendedHaltResumeMatchesUninterrupted)
+{
+    const BatchLatencyModel cheap =
+        BatchLatencyModel::linear(5e-4, 1e-4, 8);
+    const std::string ref_dir = tempDir("def_resume_ref");
+    const std::string dir = tempDir("def_resume");
+    FleetOptions base = allDefenses();
+    base.checkpointIntervalSec = 5e-3;
+    const FaultSchedule faults = rackStrike(0.1, 0.5);
+
+    std::filesystem::remove_all(ref_dir);
+    FleetOptions ref_options = base;
+    ref_options.checkpointDir = ref_dir;
+    const FleetResult ref =
+        runSched(2.0, ref_options, faults, 0.5, &cheap);
+    ASSERT_FALSE(ref.halted);
+    ASSERT_GT(ref.checkpointsSaved, 2u);
+
+    unsigned total_events = 0;
+    for (char c : ref.eventLog)
+        if (c == '\n')
+            ++total_events;
+    ASSERT_GE(total_events, 3u);
+
+    for (unsigned halt : {1u, total_events / 2, total_events - 1}) {
+        std::filesystem::remove_all(dir);
+        FleetOptions victim = base;
+        victim.checkpointDir = dir;
+        victim.haltAfterEvents = halt;
+        const FleetResult dead =
+            runSched(2.0, victim, faults, 0.5, &cheap);
+        EXPECT_TRUE(dead.halted);
+
+        FleetOptions resume = base;
+        resume.checkpointDir = dir;
+        const FleetResult done =
+            runSched(2.0, resume, faults, 0.5, &cheap);
+        EXPECT_FALSE(done.halted);
+        EXPECT_EQ(done.report(), ref.report())
+            << "halt after event " << halt;
+    }
+    std::filesystem::remove_all(ref_dir);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServingDefenses, FingerprintReactsToEveryDefenseKnob)
+{
+    const std::vector<QosTier> tiers = testTiers();
+    const std::vector<Request> arrivals =
+        serving::generateArrivals(testArrivals(1.0), tiers);
+    const BatchLatencyModel model = testModel();
+    const BatchLatencyModel cheap =
+        BatchLatencyModel::linear(5e-4, 1e-4, 8);
+    const FaultSchedule none = FaultSchedule::generate(FaultSpec{});
+    const FleetOptions base = baseOptions();
+    const std::string id = serving::runFingerprint(
+        arrivals, tiers, model, none, base);
+
+    FleetOptions o = base;
+    o.health.enabled = true;
+    EXPECT_NE(id, serving::runFingerprint(arrivals, tiers, model,
+                                          none, o));
+    o = base;
+    o.reoffer.enabled = true;
+    EXPECT_NE(id, serving::runFingerprint(arrivals, tiers, model,
+                                          none, o));
+    o = base;
+    o.retry.jitterFraction = 0.5;
+    EXPECT_NE(id, serving::runFingerprint(arrivals, tiers, model,
+                                          none, o));
+
+    // The brownout model only enters the identity when the ladder is
+    // armed — a dormant pointer is identity-neutral.
+    EXPECT_EQ(id, serving::runFingerprint(arrivals, tiers, model,
+                                          none, base, &cheap));
+    o = base;
+    o.brownout.enabled = true;
+    const std::string armed = serving::runFingerprint(
+        arrivals, tiers, model, none, o, &cheap);
+    EXPECT_NE(id, armed);
+    EXPECT_NE(armed, serving::runFingerprint(arrivals, tiers, model,
+                                             none, o, &model));
+
+    // A correlated schedule never aliases the independent schedule of
+    // its own meta spec.
+    const FaultSchedule corr = rackStrike(0.1);
+    const FaultSchedule indep = FaultSchedule::generate(corr.spec());
+    EXPECT_NE(serving::runFingerprint(arrivals, tiers, model, corr,
+                                      base),
+              serving::runFingerprint(arrivals, tiers, model, indep,
+                                      base));
 }
 
 // ------------------------------------------- kill/resume contract
